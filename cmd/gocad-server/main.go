@@ -1,0 +1,65 @@
+// Command gocad-server runs an IP provider's JavaCAD server: it hosts
+// the standard component catalogue (the MultFastLowPower multiplier and
+// the IP1 half-adder macro), generates a shared client key, and serves
+// authenticated sessions over TCP.
+//
+//	gocad-server -addr 127.0.0.1:7999 -client designer -keyfile key.hex
+//
+// The hex-encoded session key is written to -keyfile; hand it to
+// gocad-sim (or any gocad client) to connect.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/provider"
+	"repro/internal/security"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7999", "listen address")
+		client  = flag.String("client", "designer", "authorized client name")
+		keyfile = flag.String("keyfile", "gocad-key.hex", "file receiving the hex session key")
+		name    = flag.String("name", "provider1", "provider display name")
+	)
+	flag.Parse()
+
+	p := provider.New(*name)
+	if err := p.Register(provider.MultFastLowPower()); err != nil {
+		fatal(err)
+	}
+	if err := p.Register(provider.HalfAdderIP1()); err != nil {
+		fatal(err)
+	}
+	key, err := security.NewKey()
+	if err != nil {
+		fatal(err)
+	}
+	p.Authorize(*client, key)
+	if err := os.WriteFile(*keyfile, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		fatal(err)
+	}
+	bound, err := p.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gocad-server %q listening on %s\n", *name, bound)
+	fmt.Printf("  authorized client: %s (key in %s)\n", *client, *keyfile)
+	fmt.Println("  catalogue: MultFastLowPower, IP1-HalfAdder")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("shutting down")
+	p.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gocad-server:", err)
+	os.Exit(1)
+}

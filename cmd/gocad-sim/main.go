@@ -1,0 +1,148 @@
+// Command gocad-sim is the IP user's side of a live gocad deployment: it
+// connects to a running gocad-server, browses the catalogue, binds the
+// remote multiplier, and runs the paper's Figure 2 design — proprietary
+// registers around a virtual multiplier — with remote power estimation,
+// printing the estimates and the session bill.
+//
+//	gocad-server -keyfile key.hex &
+//	gocad-sim -addr 127.0.0.1:7999 -keyfile key.hex -patterns 100
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estim"
+	"repro/internal/iplib"
+	"repro/internal/module"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+	"repro/internal/security"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7999", "gocad-server address")
+		keyfile  = flag.String("keyfile", "gocad-key.hex", "hex session key file")
+		client   = flag.String("client", "designer", "client name")
+		width    = flag.Int("width", 16, "multiplier operand width")
+		patterns = flag.Int("patterns", 100, "number of random patterns")
+		buffer   = flag.Int("buffer", 5, "pattern buffer size")
+		profile  = flag.String("net", "none", "emulated network on top of the real link (none|local|LAN|WAN)")
+		remote   = flag.Bool("mr", false, "run the multiplier fully remote (MR) instead of ER")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*keyfile)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		fatal(fmt.Errorf("bad key file: %w", err))
+	}
+	rpc, err := rmi.Dial(*addr, *client, security.Key(key))
+	if err != nil {
+		fatal(err)
+	}
+	defer rpc.Close()
+	meter := &netsim.Meter{}
+	rpc.Profile = netsim.ProfileByName(*profile)
+	rpc.Meter = meter
+	ip := iplib.NewIPClient(rpc)
+
+	specs, err := ip.Catalogue()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("catalogue:")
+	for _, s := range specs {
+		fmt.Printf("  %-20s %s (widths %d..%d, license %.0f¢)\n",
+			s.Name, s.Description, s.MinWidth, s.MaxWidth, s.LicenseCents)
+	}
+
+	inst, err := ip.Bind("MultFastLowPower", *width, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bound %v; offered estimators:\n", inst)
+	var offer iplib.EstimatorOffer
+	for _, e := range inst.Enabled() {
+		fmt.Printf("  %-24s err %.0f%% cost %.2f¢/call remote=%v\n", e.Name, e.ErrPct, e.CostCents, e.Remote)
+		if e.Remote && e.Parameter() == estim.ParamAvgPower {
+			offer = e
+		}
+	}
+
+	// Figure 2 design around the virtual multiplier.
+	a := module.NewWordConnector("A", *width)
+	ar := module.NewWordConnector("AR", *width)
+	b := module.NewWordConnector("B", *width)
+	br := module.NewWordConnector("BR", *width)
+	o := module.NewWordConnector("O", 2**width)
+	ina := module.NewRandomPrimaryInput("INA", *width, 1, *patterns, 10, a)
+	rega := module.NewRegister("REGA", *width, a, ar)
+	inb := module.NewRandomPrimaryInput("INB", *width, 2, *patterns, 10, b)
+	regb := module.NewRegister("REGB", *width, b, br)
+	out := module.NewPrimaryOutput("OUT", 2**width, o)
+
+	est := core.NewRemotePowerEstimator(inst, offer, *buffer, true)
+	var mult module.Module
+	if *remote {
+		rm, err := core.NewRemoteMult("MULT", *width, ar, br, o, inst)
+		if err != nil {
+			fatal(err)
+		}
+		rm.FullyRemote = true
+		rm.AddEstimator(est)
+		mult = rm
+	} else {
+		m := module.NewMult("MULT", *width, ar, br, o)
+		m.AddEstimator(est)
+		mult = m
+	}
+
+	circuit := module.NewCircuit("Example", ina, rega, inb, regb, mult, out)
+	simu := module.NewSimulation(circuit)
+	setup := estim.NewSetup("run")
+	setup.Set(estim.ParamAvgPower, estim.Criteria{Prefer: estim.PreferAccuracy})
+
+	start := time.Now()
+	stats := simu.Start(setup)
+	if stats.Err != nil {
+		fatal(stats.Err)
+	}
+	if err := est.Close(); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	cpu, real := meter.Split(wall)
+
+	rep := est.Report()
+	fees, err := ip.Fees()
+	if err != nil {
+		fatal(err)
+	}
+	mode := "ER"
+	if *remote {
+		mode = "MR"
+	}
+	fmt.Printf("\nsimulated %d patterns (%s): %d products observed\n",
+		*patterns, mode, len(out.History(stats.Scheduler)))
+	fmt.Printf("  remote power: %d samples, avg %.1f µW, peak %.1f µW\n",
+		len(rep.Samples), rep.AvgPower, rep.PeakPower)
+	fmt.Printf("  CPU time %v, real time %v (blocked on network %v, %d calls, %d bytes)\n",
+		cpu.Round(time.Microsecond), real.Round(time.Microsecond),
+		meter.Blocked().Round(time.Microsecond), meter.Calls(), meter.Bytes())
+	fmt.Printf("  session bill: %.1f¢\n", fees)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gocad-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Protection contrasts the three IP-protection approaches the paper
+// discusses, on the same component (an 8-bit multiplier core):
+//
+//  1. WATERMARKING (related work): the provider embeds a keyed signature
+//     into the netlist and ships the netlist itself. The user gets full
+//     accuracy locally — and full disclosure: anyone can analyze
+//     structure, power, and faults. The signature only proves provenance
+//     in court.
+//  2. MODEL ENCRYPTION (related work): the provider ships an encrypted
+//     model opened into an evaluation-only API. Functionality is exact,
+//     but structural queries are impossible by construction — accurate
+//     power and testability are simply not servable.
+//  3. VIRTUAL SIMULATION (the paper): the netlist never leaves the
+//     provider's server; the user still gets accurate gate-level power
+//     and full fault simulation through the client-server protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gocad "repro"
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/ppp"
+	"repro/internal/sealed"
+	"repro/internal/watermark"
+)
+
+func main() {
+	nl := gate.ArrayMultiplier(8)
+	in := nl.InputWord(0x0F0F)
+
+	// ---- 1. Watermarking -------------------------------------------
+	key := []byte("fast-silicon-signing-key-1999!!!")
+	sig := watermark.SignatureFromString("FS(c)99")
+	wm, err := watermark.Embed(nl, key, sig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. watermarking:")
+	fmt.Printf("   signature verifies with key: %v\n", watermark.Verify(wm, key, sig))
+	fmt.Printf("   ...but the netlist is fully disclosed: %d gates visible,\n", wm.NumGates())
+	sim, _ := ppp.NewSimulator(wm, nil)
+	if _, err := sim.Run([][]gocad.Bit{wm.InputWord(0), wm.InputWord(0xFFFF)}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   anyone can run power analysis (%.0f fJ on one swing)\n", sim.Report().TotalEnergy)
+	fmt.Printf("   and enumerate all %d collapsed faults\n\n", len(fault.Collapse(wm)))
+
+	// ---- 2. Model encryption ----------------------------------------
+	sealKey := []byte("0123456789abcdef0123456789abcdef")
+	model, err := sealed.Seal(nl, sealKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := sealed.Open(model, sealKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := ev.Eval(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var v uint64
+	for i, b := range out {
+		if bv, _ := b.Bool(); bv {
+			v |= 1 << uint(i)
+		}
+	}
+	fmt.Println("2. model encryption:")
+	fmt.Printf("   sealed model evaluates 15*15 = %d locally (exact)\n", v)
+	fmt.Println("   ...but the API is evaluation-only: no gates, no nets, no")
+	fmt.Println("   toggle counts -> no accurate power, no detection tables;")
+	fmt.Println("   and the 32-byte key had to be handed to the user anyway")
+	if _, err := sealed.Open(model, []byte("ffffffffffffffffffffffffffffffff")); err != nil {
+		fmt.Printf("   (wrong key is at least rejected: %v)\n\n", err)
+	}
+
+	// ---- 3. Virtual simulation --------------------------------------
+	prov := gocad.NewProvider("fast-silicon")
+	if err := prov.Register(gocad.MultFastLowPower()); err != nil {
+		log.Fatal(err)
+	}
+	conn, err := gocad.ConnectInProcess(prov, "designer", gocad.NetLAN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	inst, err := conn.Client.Bind("MultFastLowPower", 8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	power, err := inst.PowerBatch([][]gocad.Bit{nl.InputWord(0), nl.InputWord(0xFFFF), nl.InputWord(0x00FF)}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults, err := inst.FaultList()
+	if err != nil {
+		log.Fatal(err)
+	}
+	area, err := inst.Static("area")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3. virtual simulation (this paper):")
+	fmt.Printf("   accurate gate-level power served remotely: %.1f µW on the swing\n", power[1])
+	fmt.Printf("   symbolic fault list served remotely: %d faults (names only)\n", len(faults))
+	fmt.Printf("   accurate area served remotely: %.0f equivalent gates\n", area)
+	fmt.Println("   ...and the netlist never left the provider's process:")
+	fmt.Println("   every response crossed a default-deny marshalling policy")
+	fees, _ := conn.Client.Fees()
+	fmt.Printf("   (the provider charges for the privilege: %.1f¢ this session)\n", fees)
+}

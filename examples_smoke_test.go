@@ -1,0 +1,69 @@
+package gocad_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun compiles and runs every example main end to end — the
+// regression net that keeps the documented entry points working. Skipped
+// under -short (each example costs a compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/faultsim",
+		"./examples/marketplace",
+		"./examples/mixedlevel",
+		"./examples/protection",
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", ex)
+			}
+		})
+	}
+}
+
+// TestExperimentsToolRuns exercises the experiments CLI at reduced scale.
+func TestExperimentsToolRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke skipped in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./cmd/experiments",
+		"-table1", "-figure4", "-width", "6").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Table 1", "Figure 4", "gate-level-toggle-count"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultToolCrossCheck runs the gocad-fault CLI with the flat
+// reference cross-check enabled.
+func TestFaultToolCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke skipped in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./cmd/gocad-fault",
+		"-design", "fig4", "-patterns", "exhaustive", "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocad-fault failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cross-check PASSED") {
+		t.Errorf("cross-check did not pass:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"net"
+
+	"repro/internal/iplib"
+	"repro/internal/netsim"
+	"repro/internal/provider"
+	"repro/internal/rmi"
+	"repro/internal/security"
+)
+
+// Connection is one authenticated client session with a provider, plus
+// its network accounting.
+type Connection struct {
+	Client *iplib.IPClient
+	Meter  *netsim.Meter
+	close  func()
+}
+
+// Close tears the session down.
+func (c *Connection) Close() {
+	if c.close != nil {
+		c.close()
+	}
+}
+
+// ConnectInProcess wires a client to a provider over an in-process pipe,
+// running the full wire protocol (handshake, gob serialization,
+// marshalling policy) with the given emulated network profile. This is
+// the deployment the performance study uses: one host, real protocol,
+// emulated transfer delays.
+func ConnectInProcess(p *provider.Provider, clientName string, profile netsim.Profile) (*Connection, error) {
+	key, err := security.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	p.Authorize(clientName, key)
+	a, b := net.Pipe()
+	go p.Server.ServeConn(a)
+	rpc, err := rmi.NewClient(b, clientName, key)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	meter := &netsim.Meter{}
+	rpc.Profile = profile
+	rpc.Meter = meter
+	return &Connection{
+		Client: iplib.NewIPClient(rpc),
+		Meter:  meter,
+		close:  func() { rpc.Close() },
+	}, nil
+}
+
+// ConnectTCP wires a client to a provider over real loopback TCP — used
+// by the cmd/ tools when client and server run as separate processes.
+func ConnectTCP(p *provider.Provider, clientName string, profile netsim.Profile) (*Connection, error) {
+	key, err := security.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	p.Authorize(clientName, key)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rpc, err := rmi.Dial(addr, clientName, key)
+	if err != nil {
+		return nil, err
+	}
+	meter := &netsim.Meter{}
+	rpc.Profile = profile
+	rpc.Meter = meter
+	return &Connection{
+		Client: iplib.NewIPClient(rpc),
+		Meter:  meter,
+		close:  func() { rpc.Close() },
+	}, nil
+}

@@ -1,0 +1,296 @@
+// Package core ties gocad together into the paper's headline capability:
+// VIRTUAL SIMULATION — the early evaluation of a design comprising
+// unpurchased IP components, with accuracy that requires undisclosed
+// implementation details. It provides the remote-module proxies that
+// instantiate like any local module but execute IP-protected methods on
+// the provider's server, the buffered nonblocking remote power estimator,
+// the provider-connection helpers, and the AL/ER/MR scenario harness that
+// regenerates the paper's Table 2 and Figure 3.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/estim"
+	"repro/internal/iplib"
+	"repro/internal/module"
+	"repro/internal/signal"
+)
+
+// wordsToBits concatenates the bits of the given words LSB-first — the
+// component-input pattern layout shared with provider-side netlists
+// (operand a in the low bits, operand b above it).
+func wordsToBits(words ...signal.Word) []signal.Bit {
+	var out []signal.Bit
+	for _, w := range words {
+		out = append(out, w.Bits...)
+	}
+	return out
+}
+
+// RemotePowerEstimator is the paper's remote gate-level power estimator
+// with the two optimizations of the performance study:
+//
+//   - PATTERN BUFFERING: input patterns are accumulated and issued to the
+//     provider in batches of BufferSize, amortizing the per-call RMI
+//     overhead (the knob of Figure 3);
+//   - NONBLOCKING ESTIMATION: batches are dispatched on worker
+//     goroutines (the paper's threads), hiding the latency of long
+//     gate-level simulator runs behind ongoing event processing.
+//
+// Per-pattern estimates therefore arrive asynchronously: the estimator
+// returns the null value to the estimation engine at token time (the
+// sample is recorded as deferred) and accumulates the real values, which
+// Report exposes after Close drains the in-flight batches.
+type RemotePowerEstimator struct {
+	estim.Meta
+	inst *iplib.BoundInstance
+	// BufferSize is the number of patterns per batch (≥ 1).
+	BufferSize int
+	// Nonblocking dispatches batches on worker goroutines.
+	Nonblocking bool
+	// SkipCompute asks the provider to acknowledge batches without
+	// running the power simulator (the Figure 3 methodology, isolating
+	// RMI overhead from compute).
+	SkipCompute bool
+
+	// dispatch runs one batch remotely; the default is the power-batch
+	// method, NewRemoteTimingEstimator substitutes the timing method.
+	dispatch func(batch [][]signal.Bit, skip bool) ([]float64, error)
+
+	mu      sync.Mutex
+	buf     [][]signal.Bit
+	results []float64
+	errs    []error
+	sent    int
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewRemotePowerEstimator builds the estimator from a provider offer.
+func NewRemotePowerEstimator(inst *iplib.BoundInstance, offer iplib.EstimatorOffer, bufferSize int, nonblocking bool) *RemotePowerEstimator {
+	if bufferSize < 1 {
+		bufferSize = 1
+	}
+	return &RemotePowerEstimator{
+		Meta: estim.Meta{
+			Name:    offer.Name,
+			Param:   offer.Parameter(),
+			ErrPct:  offer.ErrPct,
+			Cost:    offer.CostCents,
+			CPUTime: offer.CPUTime(),
+			IsRem:   true,
+		},
+		inst:        inst,
+		BufferSize:  bufferSize,
+		Nonblocking: nonblocking,
+	}
+}
+
+// Estimate implements estim.Estimator: it snapshots the component's input
+// pattern into the buffer, flushing a full buffer to the provider, and
+// returns the deferred (null) value.
+func (e *RemotePowerEstimator) Estimate(ec *estim.EvalContext) (estim.ParamValue, error) {
+	var words []signal.Word
+	for _, v := range ec.Inputs {
+		switch x := v.(type) {
+		case signal.WordValue:
+			words = append(words, x.W)
+		case signal.BitValue:
+			words = append(words, signal.Word{Bits: []signal.Bit{x.B}})
+		case nil:
+			return estim.NullValue{}, nil // inputs not yet driven
+		}
+	}
+	pattern := wordsToBits(words...)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: estimator %s used after Close", e.Name)
+	}
+	e.buf = append(e.buf, pattern)
+	if len(e.buf) >= e.BufferSize {
+		e.flushLocked()
+	}
+	return estim.NullValue{}, nil
+}
+
+// flushLocked dispatches the buffered batch; the caller holds e.mu.
+func (e *RemotePowerEstimator) flushLocked() {
+	if len(e.buf) == 0 {
+		return
+	}
+	batch := e.buf
+	e.buf = nil
+	e.sent += len(batch)
+	if !e.Nonblocking {
+		vals, err := e.dispatchBatch(batch)
+		e.record(vals, err)
+		return
+	}
+	if e.dispatch == nil {
+		// The power path has a native async stub; use it.
+		e.wg.Add(1)
+		e.inst.PowerBatchAsync(batch, e.SkipCompute, func(vals []float64, err error) {
+			defer e.wg.Done()
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.record(vals, err)
+		})
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		vals, err := e.dispatch(batch, e.SkipCompute)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.record(vals, err)
+	}()
+}
+
+// dispatchBatch runs one batch synchronously through the configured
+// remote method.
+func (e *RemotePowerEstimator) dispatchBatch(batch [][]signal.Bit) ([]float64, error) {
+	if e.dispatch != nil {
+		return e.dispatch(batch, e.SkipCompute)
+	}
+	return e.inst.PowerBatch(batch, e.SkipCompute)
+}
+
+// record appends batch results; for nonblocking calls the caller holds
+// e.mu, for blocking calls it already does too.
+func (e *RemotePowerEstimator) record(vals []float64, err error) {
+	if err != nil {
+		e.errs = append(e.errs, err)
+		return
+	}
+	e.results = append(e.results, vals...)
+}
+
+// Close flushes the remaining partial buffer and waits for every
+// in-flight batch. It must be called after the simulation run so Report
+// sees all values ("real time" in the scenarios includes this drain).
+func (e *RemotePowerEstimator) Close() error {
+	e.mu.Lock()
+	e.flushLocked()
+	e.closed = true
+	e.mu.Unlock()
+	// The drain is the one nonblocking wait that DOES stall the caller:
+	// meter it so the CPU/real decomposition stays honest.
+	start := time.Now()
+	e.wg.Wait()
+	if m := e.inst.Meter(); m != nil {
+		m.AddBlocked(time.Since(start))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.errs) > 0 {
+		return fmt.Errorf("core: %d remote estimation batches failed; first: %w", len(e.errs), e.errs[0])
+	}
+	return nil
+}
+
+// Report summarizes the per-pattern power values received so far.
+type PowerReport struct {
+	Samples   []float64
+	Sent      int
+	AvgPower  float64
+	PeakPower float64
+}
+
+// Report returns the accumulated remote estimates.
+func (e *RemotePowerEstimator) Report() PowerReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := PowerReport{Samples: append([]float64(nil), e.results...), Sent: e.sent}
+	if len(r.Samples) > 1 {
+		sum := 0.0
+		for _, v := range r.Samples {
+			sum += v
+			if v > r.PeakPower {
+				r.PeakPower = v
+			}
+		}
+		r.AvgPower = sum / float64(len(r.Samples)-1) // first pattern is free
+	}
+	return r
+}
+
+// NewRemoteTimingEstimator builds a buffered nonblocking estimator over
+// the provider's dynamic timing method: the "accurate output timing
+// information" the paper's example serves remotely because it needs the
+// gate-level structure. It shares the power estimator's buffering and
+// drain machinery; SkipCompute is not supported by the timing method and
+// is ignored.
+func NewRemoteTimingEstimator(inst *iplib.BoundInstance, offer iplib.EstimatorOffer, bufferSize int, nonblocking bool) *RemotePowerEstimator {
+	e := NewRemotePowerEstimator(inst, offer, bufferSize, nonblocking)
+	e.dispatch = func(batch [][]signal.Bit, _ bool) ([]float64, error) {
+		return inst.TimingBatch(batch)
+	}
+	return e
+}
+
+// RemoteMult is the paper's MULT as a remote module. The instantiation is
+// identical to any local module, but cites a bound provider instance. In
+// the ER configuration only IP-protected methods (accurate estimation)
+// run remotely while the public part computes products locally; with
+// FullyRemote set (the MR configuration), every functional evaluation is
+// a synchronous remote invocation — each event reaching the module pays
+// marshalling and transfer, which is exactly the overhead Table 2
+// quantifies.
+type RemoteMult struct {
+	*module.Skeleton
+	a, b, o *module.Port
+	width   int
+	inst    *iplib.BoundInstance
+	// FullyRemote selects the MR behavior.
+	FullyRemote bool
+	// Delay is the output propagation delay.
+	Delay int
+}
+
+// NewRemoteMult instantiates the remote multiplier over the connectors,
+// bound to a provider instance of matching width.
+func NewRemoteMult(name string, width int, a, b, o *module.Connector, inst *iplib.BoundInstance) (*RemoteMult, error) {
+	if inst.Width() != width {
+		return nil, fmt.Errorf("core: remote instance width %d, design needs %d", inst.Width(), width)
+	}
+	m := &RemoteMult{width: width, inst: inst, Delay: 1}
+	m.Skeleton = module.NewSkeleton(name, m)
+	m.a = m.AddPort("a", module.In, width, a)
+	m.b = m.AddPort("b", module.In, width, b)
+	m.o = m.AddPort("o", module.Out, 2*width, o)
+	return m, nil
+}
+
+// Instance returns the bound provider instance.
+func (m *RemoteMult) Instance() *iplib.BoundInstance { return m.inst }
+
+// ProcessInputEvent computes the product — locally from the public part,
+// or remotely when FullyRemote.
+func (m *RemoteMult) ProcessInputEvent(ctx *module.Ctx, ev *module.PortEvent) {
+	aw, aok := ctx.InputWordOn(m.a)
+	bw, bok := ctx.InputWordOn(m.b)
+	if !aok || !bok {
+		return
+	}
+	if !m.FullyRemote {
+		av, _ := aw.Uint64()
+		bv, _ := bw.Uint64()
+		prod := av * bv
+		if 2*m.width < 64 {
+			prod &= (1 << uint(2*m.width)) - 1
+		}
+		ctx.Drive(m.o, signal.WordValue{W: signal.WordFromUint64(prod, 2*m.width)}, 1)
+		return
+	}
+	out, err := m.inst.Eval(wordsToBits(aw, bw))
+	if err != nil {
+		panic(fmt.Sprintf("core: remote eval of %s: %v", m.ModuleName(), err))
+	}
+	w := signal.Word{Bits: append([]signal.Bit(nil), out...)}
+	ctx.Drive(m.o, signal.WordValue{W: w}, 1)
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+// TestSet is a compacted test sequence for one component, together with
+// the coverage it achieves over the component's collapsed fault list.
+// The paper observes that "a good test sequence is IP that might need
+// protection": providers generate these from the private netlist and sell
+// them; internal/provider serves them over the ip.testset method.
+type TestSet struct {
+	Patterns [][]signal.Bit
+	Coverage float64
+	// Candidates is how many random candidates the generator examined.
+	Candidates int
+}
+
+// GenerateTests builds a compact test set by random-search ATPG with
+// fault dropping: random candidate patterns are fault-simulated and kept
+// only when they detect at least one still-undetected fault; a reverse
+// pass then removes patterns made redundant by later ones. The search
+// stops when full coverage is reached, after maxCandidates candidates, or
+// after 4·maxCandidates/5 consecutive useless candidates.
+func GenerateTests(nl *gate.Netlist, maxCandidates int, seed int64) (*TestSet, error) {
+	if maxCandidates < 1 {
+		return nil, fmt.Errorf("fault: maxCandidates %d", maxCandidates)
+	}
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	reps := Collapse(nl)
+	golden, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	nIn := len(nl.Inputs())
+
+	alive := append([]gate.Fault(nil), reps...)
+	var kept [][]signal.Bit
+	dryRun := 0
+	dryLimit := 4*maxCandidates/5 + 1
+	candidates := 0
+	for ; candidates < maxCandidates && len(alive) > 0 && dryRun < dryLimit; candidates++ {
+		pattern := make([]signal.Bit, nIn)
+		for i := range pattern {
+			if r.Intn(2) == 1 {
+				pattern[i] = signal.B1
+			}
+		}
+		detected, err := detectAny(golden, faulty, pattern, alive)
+		if err != nil {
+			return nil, err
+		}
+		if len(detected) == 0 {
+			dryRun++
+			continue
+		}
+		dryRun = 0
+		kept = append(kept, pattern)
+		alive = removeFaults(alive, detected)
+	}
+
+	// Reverse compaction: drop patterns whose detections are covered by
+	// the remaining set.
+	kept = reverseCompact(nl, reps, kept)
+
+	res, err := SerialSimulateFaults(nl, reps, kept)
+	if err != nil {
+		return nil, err
+	}
+	return &TestSet{Patterns: kept, Coverage: res.Coverage(), Candidates: candidates}, nil
+}
+
+// detectAny returns the alive faults the pattern detects.
+func detectAny(golden, faulty *gate.Evaluator, pattern []signal.Bit, alive []gate.Fault) ([]gate.Fault, error) {
+	goodOut, err := golden.Eval(pattern)
+	if err != nil {
+		return nil, err
+	}
+	good := append([]signal.Bit(nil), goodOut...)
+	var out []gate.Fault
+	for _, f := range alive {
+		faulty.ClearFaults()
+		faulty.SetFault(f)
+		bad, err := faulty.Eval(pattern)
+		if err != nil {
+			return nil, err
+		}
+		if knownDiff(good, bad) {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// removeFaults filters detected faults out of the alive list.
+func removeFaults(alive, detected []gate.Fault) []gate.Fault {
+	drop := make(map[gate.Fault]bool, len(detected))
+	for _, f := range detected {
+		drop[f] = true
+	}
+	out := alive[:0]
+	for _, f := range alive {
+		if !drop[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// reverseCompact removes patterns (scanning from the oldest) that no
+// longer contribute unique detections.
+func reverseCompact(nl *gate.Netlist, reps []gate.Fault, patterns [][]signal.Bit) [][]signal.Bit {
+	if len(patterns) <= 1 {
+		return patterns
+	}
+	base, err := SerialSimulateFaults(nl, reps, patterns)
+	if err != nil {
+		return patterns
+	}
+	target := len(base.Detected)
+	kept := append([][]signal.Bit(nil), patterns...)
+	for i := 0; i < len(kept); {
+		trial := append(append([][]signal.Bit(nil), kept[:i]...), kept[i+1:]...)
+		res, err := SerialSimulateFaults(nl, reps, trial)
+		if err != nil {
+			return kept
+		}
+		if len(res.Detected) == target {
+			kept = trial
+			continue // same index now holds the next pattern
+		}
+		i++
+	}
+	return kept
+}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+func TestGenerateTestsFullCoverageSmall(t *testing.T) {
+	nl := gate.RippleAdder(3)
+	ts, err := GenerateTests(nl, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Coverage != 1.0 {
+		t.Errorf("coverage = %.3f, want 1.0 (fully testable adder)", ts.Coverage)
+	}
+	if len(ts.Patterns) == 0 || ts.Candidates == 0 {
+		t.Error("empty test set")
+	}
+	// Every pattern has the right arity.
+	for _, p := range ts.Patterns {
+		if len(p) != len(nl.Inputs()) {
+			t.Fatal("pattern arity wrong")
+		}
+	}
+}
+
+func TestGenerateTestsCompaction(t *testing.T) {
+	// The compacted set must be materially smaller than an uncompacted
+	// random set reaching the same coverage.
+	nl := gate.ArrayMultiplier(4)
+	ts, err := GenerateTests(nl, 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Coverage < 0.95 {
+		t.Fatalf("coverage = %.3f too low for the comparison", ts.Coverage)
+	}
+	// How many raw random patterns does the same coverage take?
+	r := rand.New(rand.NewSource(3))
+	reps := Collapse(nl)
+	var raw [][]signal.Bit
+	for {
+		p := make([]signal.Bit, len(nl.Inputs()))
+		for i := range p {
+			if r.Intn(2) == 1 {
+				p[i] = signal.B1
+			}
+		}
+		raw = append(raw, p)
+		res, err := SerialSimulateFaults(nl, reps, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage() >= ts.Coverage || len(raw) > 2000 {
+			break
+		}
+	}
+	if len(ts.Patterns) >= len(raw) {
+		t.Errorf("compacted set (%d) not smaller than raw random (%d)", len(ts.Patterns), len(raw))
+	}
+	t.Logf("compacted %d vs raw %d patterns at %.1f%% coverage",
+		len(ts.Patterns), len(raw), 100*ts.Coverage)
+}
+
+func TestGenerateTestsDeterministic(t *testing.T) {
+	nl := gate.HalfAdderIP()
+	a, err := GenerateTests(nl, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTests(nl, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) || a.Coverage != b.Coverage {
+		t.Error("same seed produced different test sets")
+	}
+}
+
+func TestGenerateTestsValidation(t *testing.T) {
+	nl := gate.RippleAdder(2)
+	if _, err := GenerateTests(nl, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestGenerateTestsC17(t *testing.T) {
+	// The classic benchmark must reach 100% with a handful of patterns.
+	ts, err := GenerateTests(gate.C17(), 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Coverage != 1.0 {
+		t.Errorf("c17 coverage = %.3f", ts.Coverage)
+	}
+	if len(ts.Patterns) > 10 {
+		t.Errorf("c17 test set = %d patterns; expected a compact set", len(ts.Patterns))
+	}
+}

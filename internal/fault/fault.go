@@ -1,0 +1,235 @@
+// Package fault implements gocad's testability machinery: single
+// stuck-at fault models over gate-level netlists, structural fault
+// collapsing, symbolic fault lists, per-pattern detection tables, a
+// full-disclosure serial fault simulator (the reference an IP owner could
+// run on its own flattened design), and the paper's headline extension —
+// VIRTUAL FAULT SIMULATION, the two-phase client/provider protocol that
+// evaluates the fault coverage of a design containing IP components
+// without the provider disclosing the netlist and without the user
+// disclosing the surrounding design.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+// Enumerate returns the full single-stuck-at fault universe of a netlist:
+// stuck-at-0 and stuck-at-1 on every net.
+func Enumerate(nl *gate.Netlist) []gate.Fault {
+	faults := make([]gate.Fault, 0, 2*nl.NumNets())
+	for id := 0; id < nl.NumNets(); id++ {
+		faults = append(faults,
+			gate.Fault{Net: gate.NetID(id), Stuck: signal.B0},
+			gate.Fault{Net: gate.NetID(id), Stuck: signal.B1},
+		)
+	}
+	return faults
+}
+
+// faultKey indexes a fault in collapse structures.
+type faultKey struct {
+	net   gate.NetID
+	stuck signal.Bit
+}
+
+// unionFind is a minimal disjoint-set over fault keys.
+type unionFind map[faultKey]faultKey
+
+func (u unionFind) find(k faultKey) faultKey {
+	r, ok := u[k]
+	if !ok || r == k {
+		return k
+	}
+	root := u.find(r)
+	u[k] = root
+	return root
+}
+
+func (u unionFind) union(a, b faultKey) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u[ra] = rb
+	}
+}
+
+// collapseUnion builds the equivalence structure over the fault
+// universe. The classical gate rules are applied:
+//
+//	AND : output sa0 ≡ every input sa0      NAND: output sa1 ≡ every input sa0
+//	OR  : output sa1 ≡ every input sa1      NOR : output sa0 ≡ every input sa1
+//	BUF : output saV ≡ input saV            NOT : output saV ≡ input sa¬V
+//
+// Equivalence across a gate input is only valid when the input net is
+// fanout-free (drives exactly that one gate input) AND is not itself a
+// primary output: a fault on an observed net is distinguishable at that
+// net directly even when its downstream effect coincides. (The second
+// condition was caught by the functional-equivalence property test in
+// collapse_test.go.)
+func collapseUnion(nl *gate.Netlist) unionFind {
+	if err := nl.Build(); err != nil {
+		panic(fmt.Sprintf("fault: %v", err))
+	}
+	uf := make(unionFind)
+	for _, g := range nl.Gates() {
+		for _, in := range g.In {
+			if nl.Fanout(in) != 1 || nl.IsOutput(in) {
+				continue
+			}
+			switch g.Kind {
+			case gate.And:
+				uf.union(faultKey{in, signal.B0}, faultKey{g.Out, signal.B0})
+			case gate.Nand:
+				uf.union(faultKey{in, signal.B0}, faultKey{g.Out, signal.B1})
+			case gate.Or:
+				uf.union(faultKey{in, signal.B1}, faultKey{g.Out, signal.B1})
+			case gate.Nor:
+				uf.union(faultKey{in, signal.B1}, faultKey{g.Out, signal.B0})
+			case gate.Buf:
+				uf.union(faultKey{in, signal.B0}, faultKey{g.Out, signal.B0})
+				uf.union(faultKey{in, signal.B1}, faultKey{g.Out, signal.B1})
+			case gate.Not:
+				uf.union(faultKey{in, signal.B0}, faultKey{g.Out, signal.B1})
+				uf.union(faultKey{in, signal.B1}, faultKey{g.Out, signal.B0})
+			}
+		}
+	}
+	return uf
+}
+
+// Collapse reduces the fault universe by structural equivalence (see
+// collapseUnion for the rules and their validity conditions): faults that
+// provably produce identical faulty functions are merged, and one
+// representative per class is kept, in deterministic (net, stuck) order.
+func Collapse(nl *gate.Netlist) []gate.Fault {
+	uf := collapseUnion(nl)
+	seen := make(map[faultKey]bool)
+	var out []gate.Fault
+	for _, f := range Enumerate(nl) {
+		root := uf.find(faultKey{f.Net, f.Stuck})
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// EquivalenceClasses returns, for each collapsed representative, every
+// fault merged into it (including itself). Coverage numbers over the full
+// universe are derived from class sizes.
+func EquivalenceClasses(nl *gate.Netlist) map[gate.Fault][]gate.Fault {
+	uf := collapseUnion(nl)
+	classOf := make(map[faultKey][]gate.Fault)
+	for _, f := range Enumerate(nl) {
+		root := uf.find(faultKey{f.Net, f.Stuck})
+		classOf[root] = append(classOf[root], f)
+	}
+	out := make(map[gate.Fault][]gate.Fault, len(classOf))
+	for _, rep := range Collapse(nl) {
+		root := uf.find(faultKey{rep.Net, rep.Stuck})
+		out[rep] = classOf[root]
+	}
+	return out
+}
+
+// Naming maps internal faults to the symbolic names a provider publishes.
+type Naming int
+
+// Naming policies.
+const (
+	// NetNames spells faults as <netname>sa<v>, the paper's Figure 4
+	// style (I3sa0). Net names are visible; use for components whose net
+	// naming is not sensitive.
+	NetNames Naming = iota
+	// Anonymous spells faults as f<k>sa<v> with k an opaque index,
+	// disclosing nothing about the component's structure.
+	Anonymous
+)
+
+// SymbolicList is a provider's published fault list: symbolic names in a
+// stable order, with the mapping back to internal faults kept private.
+type SymbolicList struct {
+	names   []string
+	toFault map[string]gate.Fault
+}
+
+// NewSymbolicList builds the symbolic fault list for a netlist under the
+// naming policy, over the collapsed fault set.
+func NewSymbolicList(nl *gate.Netlist, policy Naming) *SymbolicList {
+	return buildSymbolicList(nl, policy, false)
+}
+
+// NewInternalSymbolicList is NewSymbolicList restricted to the
+// component's INTERNAL faults: equivalence classes consisting solely of
+// primary-input or primary-output net faults are omitted, because — as
+// the paper specifies — "the user directly handles faults affecting input
+// or output signals" (a port fault belongs to the shared net between user
+// and component, not to the provider's IP). A class mixing port and
+// internal faults keeps an internal representative.
+func NewInternalSymbolicList(nl *gate.Netlist, policy Naming) *SymbolicList {
+	return buildSymbolicList(nl, policy, true)
+}
+
+func buildSymbolicList(nl *gate.Netlist, policy Naming, internalOnly bool) *SymbolicList {
+	classes := EquivalenceClasses(nl)
+	reps := Collapse(nl)
+	sl := &SymbolicList{toFault: make(map[string]gate.Fault, len(reps))}
+	idx := 0
+	for _, rep := range reps {
+		f := rep
+		if internalOnly {
+			chosen := false
+			for _, cf := range classes[rep] {
+				if !nl.IsInput(cf.Net) && !nl.IsOutput(cf.Net) {
+					f = cf
+					chosen = true
+					break
+				}
+			}
+			if !chosen {
+				continue // class holds only port faults: user's responsibility
+			}
+		}
+		var name string
+		switch policy {
+		case Anonymous:
+			sa := "sa0"
+			if f.Stuck == signal.B1 {
+				sa = "sa1"
+			}
+			name = fmt.Sprintf("f%d%s", idx, sa)
+		default:
+			name = f.Symbol(nl)
+		}
+		idx++
+		sl.names = append(sl.names, name)
+		sl.toFault[name] = f
+	}
+	return sl
+}
+
+// Names returns the symbolic names in publication order. This slice is
+// what crosses the IP boundary to the user.
+func (sl *SymbolicList) Names() []string { return append([]string(nil), sl.names...) }
+
+// Fault resolves a symbolic name to the internal fault. Provider-side
+// only: the mapping never leaves the provider.
+func (sl *SymbolicList) Fault(name string) (gate.Fault, bool) {
+	f, ok := sl.toFault[name]
+	return f, ok
+}
+
+// Len returns the number of symbolic faults.
+func (sl *SymbolicList) Len() int { return len(sl.names) }
+
+// SortedNames returns the names sorted lexicographically (for reports).
+func (sl *SymbolicList) SortedNames() []string {
+	out := sl.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+// ScanPattern is one full-scan test: the register contents scanned in
+// plus the primary-input values for the capture cycle.
+type ScanPattern struct {
+	State  []signal.Bit
+	Inputs []signal.Bit
+}
+
+// ScanSimulate fault-simulates a sequential circuit under the full-scan
+// assumption — the paper's "extensions to sequential circuits": with
+// every state element directly controllable (scan-in) and observable
+// (scan-out), each test reduces to one combinational evaluation of the
+// core, and both the primary outputs AND the captured next state serve
+// as observation points. The target fault list is the collapsed
+// universe of the combinational core.
+func ScanSimulate(seq *gate.Sequential, patterns []ScanPattern) (*Result, error) {
+	reps := Collapse(seq.Comb)
+	res := &Result{
+		Total:      len(reps),
+		Detected:   make(map[string]int),
+		PerPattern: make([][]string, len(patterns)),
+	}
+	golden, err := seq.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := seq.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	alive := append([]gate.Fault(nil), reps...)
+	for pi, p := range patterns {
+		if err := golden.SetState(p.State); err != nil {
+			return nil, err
+		}
+		goodOut, err := golden.Step(p.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		goodState := golden.State()
+
+		var next []gate.Fault
+		for _, f := range alive {
+			faulty.ClearFaults()
+			faulty.SetFault(f)
+			if err := faulty.SetState(p.State); err != nil {
+				return nil, err
+			}
+			badOut, err := faulty.Step(p.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			badState := faulty.State()
+			if knownDiff(goodOut, badOut) || knownDiff(goodState, badState) {
+				sym := f.Symbol(seq.Comb)
+				res.Detected[sym] = pi
+				res.PerPattern[pi] = append(res.PerPattern[pi], sym)
+			} else {
+				next = append(next, f)
+			}
+		}
+		alive = next
+		if len(alive) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// SerialSimulateBridges fault-simulates a list of wired-AND bridging
+// faults over a flat combinational netlist — the second "general fault
+// model" beyond single stuck-at. Detection semantics match the stuck-at
+// simulator: a bridge is detected by the first pattern producing a known
+// primary-output difference, and detected bridges are dropped.
+func SerialSimulateBridges(nl *gate.Netlist, bridges []gate.Bridge, patterns [][]signal.Bit) (*Result, error) {
+	res := &Result{
+		Total:      len(bridges),
+		Detected:   make(map[string]int),
+		PerPattern: make([][]string, len(patterns)),
+	}
+	golden, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	symbol := func(b gate.Bridge) string {
+		return "bridge(" + nl.NetName(b.A) + "," + nl.NetName(b.B) + ")"
+	}
+	alive := append([]gate.Bridge(nil), bridges...)
+	for pi, p := range patterns {
+		goodOut, err := golden.Eval(p)
+		if err != nil {
+			return nil, err
+		}
+		good := append([]signal.Bit(nil), goodOut...)
+		var next []gate.Bridge
+		for _, b := range alive {
+			faulty.ClearBridges()
+			faulty.SetBridge(b)
+			badOut, err := faulty.Eval(p)
+			if err != nil {
+				return nil, err
+			}
+			if knownDiff(good, badOut) {
+				res.Detected[symbol(b)] = pi
+				res.PerPattern[pi] = append(res.PerPattern[pi], symbol(b))
+			} else {
+				next = append(next, b)
+			}
+		}
+		alive = next
+		if len(alive) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// EnumerateBridges returns candidate wired-AND bridges between distinct
+// nets of similar circuit depth (a common realistic-bridge heuristic:
+// adjacent wires), bounded to at most max pairs.
+func EnumerateBridges(nl *gate.Netlist, max int) []gate.Bridge {
+	var out []gate.Bridge
+	n := nl.NumNets()
+	for a := 0; a < n && len(out) < max; a++ {
+		for d := 1; d <= 3 && a+d < n && len(out) < max; d++ {
+			out = append(out, gate.Bridge{A: gate.NetID(a), B: gate.NetID(a + d)})
+		}
+	}
+	return out
+}
+
+// knownDiff reports whether two bit vectors differ at any position where
+// both hold known values.
+func knownDiff(a, b []signal.Bit) bool {
+	for i := range a {
+		if i < len(b) && a[i].Known() && b[i].Known() && a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomScanPatterns generates n pseudo-random full-scan tests for a
+// sequential circuit (deterministic in the seed).
+func RandomScanPatterns(seq *gate.Sequential, n int, seed int64) []ScanPattern {
+	// A tiny xorshift keeps this free of math/rand plumbing.
+	state := uint64(seed)*2654435761 + 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	out := make([]ScanPattern, n)
+	for i := range out {
+		st := make([]signal.Bit, seq.StateWidth())
+		for j := range st {
+			if next()&1 == 1 {
+				st[j] = signal.B1
+			}
+		}
+		in := make([]signal.Bit, len(seq.PrimaryInputs()))
+		for j := range in {
+			if next()&1 == 1 {
+				in[j] = signal.B1
+			}
+		}
+		out[i] = ScanPattern{State: st, Inputs: in}
+	}
+	return out
+}

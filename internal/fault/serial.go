@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+// Result summarizes a flat (full-disclosure) fault simulation run.
+type Result struct {
+	// Total is the size of the collapsed target fault list.
+	Total int
+	// Detected maps each detected fault's symbol to the index of the
+	// first pattern that detected it.
+	Detected map[string]int
+	// PerPattern[i] lists the faults newly detected by pattern i.
+	PerPattern [][]string
+}
+
+// Coverage returns detected/total in [0,1].
+func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(len(r.Detected)) / float64(r.Total)
+}
+
+// CoverageCurve returns the cumulative coverage after each pattern.
+func (r *Result) CoverageCurve() []float64 {
+	out := make([]float64, len(r.PerPattern))
+	seen := 0
+	for i, fs := range r.PerPattern {
+		seen += len(fs)
+		if r.Total > 0 {
+			out[i] = float64(seen) / float64(r.Total)
+		}
+	}
+	return out
+}
+
+// SerialSimulate runs classical serial stuck-at fault simulation with
+// fault dropping over a flat netlist: for each pattern, the fault-free
+// outputs are computed, then every still-undetected collapsed fault is
+// injected and the outputs compared. This is the reference an IP owner
+// with full disclosure could run — virtual fault simulation must detect
+// exactly the same fault set on the flattened equivalent design, which is
+// the central correctness property of the protocol.
+func SerialSimulate(nl *gate.Netlist, patterns [][]signal.Bit) (*Result, error) {
+	return SerialSimulateFaults(nl, Collapse(nl), patterns)
+}
+
+// SerialSimulateFaults is SerialSimulate over an explicit target fault
+// list instead of the netlist's own collapsed universe — used to compare
+// virtual fault simulation against the flattened reference on exactly the
+// component faults the provider published.
+func SerialSimulateFaults(nl *gate.Netlist, reps []gate.Fault, patterns [][]signal.Bit) (*Result, error) {
+	res := &Result{
+		Total:      len(reps),
+		Detected:   make(map[string]int),
+		PerPattern: make([][]string, len(patterns)),
+	}
+	golden, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	alive := append([]gate.Fault(nil), reps...)
+	for pi, p := range patterns {
+		goodOut, err := golden.Eval(p)
+		if err != nil {
+			return nil, fmt.Errorf("fault: pattern %d: %w", pi, err)
+		}
+		good := append([]signal.Bit(nil), goodOut...)
+		var next []gate.Fault
+		for _, f := range alive {
+			faulty.ClearFaults()
+			faulty.SetFault(f)
+			badOut, err := faulty.Eval(p)
+			if err != nil {
+				return nil, err
+			}
+			detected := false
+			for i := range good {
+				if good[i].Known() && badOut[i].Known() && good[i] != badOut[i] {
+					detected = true
+					break
+				}
+			}
+			if detected {
+				sym := f.Symbol(nl)
+				res.Detected[sym] = pi
+				res.PerPattern[pi] = append(res.PerPattern[pi], sym)
+			} else {
+				next = append(next, f)
+			}
+		}
+		alive = next
+		if len(alive) == 0 {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,357 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/module"
+	"repro/internal/signal"
+	"repro/internal/sim"
+)
+
+// HostModule is the design-side view of an IP component under virtual
+// fault simulation: a module whose ports can be snapshotted and whose
+// outputs can be forced. Every module built on module.Skeleton satisfies
+// it, including the remote IP proxies in internal/core.
+type HostModule interface {
+	module.Module
+	PortValues(id sim.SchedulerID, dir module.Direction) []signal.Value
+	InputPorts() []*module.Port
+	OutputPorts() []*module.Port
+	// Base returns the embedded skeleton — the actual token delivery
+	// target that injection overrides must be registered for.
+	Base() *module.Skeleton
+}
+
+// Host couples one component instance in the user's design with the
+// testability service answering for it — local for user-owned blocks,
+// remote (via internal/provider) for IP components.
+type Host struct {
+	Module  HostModule
+	Service TestabilityService
+}
+
+// VirtualStats counts the protocol work performed during a run — the raw
+// material of the paper's cost discussion (table queries are the
+// provider-side work; injection runs are the user-side work).
+type VirtualStats struct {
+	FaultFreeRuns       int
+	DetectionTableCalls int
+	InjectionRuns       int
+}
+
+// VirtualSimulator performs virtual fault simulation over a module-level
+// design containing IP components. The two-phase protocol of the paper:
+//
+//  1. The target fault list for the entire circuit is built as the union
+//     of the components' symbolic fault lists (a local, additive property
+//     each provider precharacterizes).
+//  2. For each test pattern, the design's fault-free behavior is
+//     simulated and the signal configuration at each IP component's
+//     inputs is made available to its provider, which returns the
+//     corresponding detection table. For every erroneous output pattern s
+//     containing still-undetected faults, s is injected at the
+//     component's outputs on a FRESH single-use scheduler whose
+//     event-handling for the component is overridden (no reset or
+//     save/restore of the fault-free run is needed — scheduler state
+//     isolation guarantees non-interference), the effects are propagated
+//     through the fault-free remainder of the design, and if any primary
+//     output differs every fault associated with s is detected and
+//     dropped from the fault list.
+type VirtualSimulator struct {
+	circuit *module.Circuit
+	inputs  []*module.Connector
+	outputs []*module.PrimaryOutput
+	hosts   []*Host
+
+	// Stats accumulates protocol-work counters across Run calls.
+	Stats VirtualStats
+	// EventLimit bounds each internal simulation run (0 = kernel default).
+	EventLimit uint64
+}
+
+// NewVirtualSimulator returns a virtual fault simulator over the design.
+// inputs are the design's primary-input connectors (pattern bit i drives
+// inputs[i]); outputs are the design's primary-output monitors.
+func NewVirtualSimulator(circuit *module.Circuit, inputs []*module.Connector, outputs []*module.PrimaryOutput) *VirtualSimulator {
+	return &VirtualSimulator{circuit: circuit, inputs: inputs, outputs: outputs}
+}
+
+// AddHost registers an IP component and its testability service.
+func (vs *VirtualSimulator) AddHost(m HostModule, svc TestabilityService) {
+	vs.hosts = append(vs.hosts, &Host{Module: m, Service: svc})
+}
+
+// Hosts returns the registered hosts.
+func (vs *VirtualSimulator) Hosts() []*Host { return vs.hosts }
+
+// globalFault tracks one symbolic fault of one host in the design-wide
+// fault list.
+type globalFault struct {
+	host *Host
+	name string // provider's symbolic name
+}
+
+// qualified returns the design-wide fault name "<module>.<symbol>".
+func (g globalFault) qualified() string { return g.host.Module.ModuleName() + "." + g.name }
+
+// BuildFaultList performs phase one: the union of the hosts' symbolic
+// fault lists, qualified by instance name.
+func (vs *VirtualSimulator) BuildFaultList() ([]string, error) {
+	gfs, err := vs.buildFaultList()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(gfs))
+	for i, gf := range gfs {
+		names[i] = gf.qualified()
+	}
+	return names, nil
+}
+
+func (vs *VirtualSimulator) buildFaultList() ([]globalFault, error) {
+	var out []globalFault
+	for _, h := range vs.hosts {
+		names, err := h.Service.FaultList()
+		if err != nil {
+			return nil, fmt.Errorf("fault: fault list of %s: %w", h.Module.ModuleName(), err)
+		}
+		for _, n := range names {
+			out = append(out, globalFault{host: h, name: n})
+		}
+	}
+	return out, nil
+}
+
+// controller builds a fresh kernel controller over the design's leaves,
+// seeded with one input pattern at time 1.
+func (vs *VirtualSimulator) controller(pattern []signal.Bit) *sim.Controller {
+	leaves := vs.circuit.Leaves()
+	handlers := make([]sim.Handler, len(leaves))
+	for i, m := range leaves {
+		handlers[i] = m
+	}
+	c := sim.NewController(handlers...)
+	c.EventLimit = vs.EventLimit
+	c.Seed = func(ctx *sim.Context) {
+		for i, conn := range vs.inputs {
+			dst := conn.InputEnd()
+			if dst == nil {
+				continue
+			}
+			ctx.Post(&sim.SignalToken{
+				T:     1,
+				Dst:   dst.Owner(),
+				Port:  dst.Index,
+				Value: signal.BitValue{B: pattern[i]},
+				Src:   "PI",
+			})
+		}
+	}
+	return c
+}
+
+// finalOutputs reads the settled value of every primary output for one
+// scheduler's run (nil entries mean the output was never driven).
+func (vs *VirtualSimulator) finalOutputs(id sim.SchedulerID) []signal.Value {
+	out := make([]signal.Value, len(vs.outputs))
+	for i, po := range vs.outputs {
+		h := po.History(id)
+		if len(h) > 0 {
+			out[i] = h[len(h)-1].Value
+		}
+	}
+	return out
+}
+
+// outputsDiffer reports whether two primary-output snapshots differ in a
+// known way (an X or missing value never counts as a detection).
+func outputsDiffer(a, b []signal.Value) bool {
+	for i := range a {
+		av, aok := a[i].(signal.BitValue)
+		bv, bok := b[i].(signal.BitValue)
+		if aok && bok && av.B.Known() && bv.B.Known() && av.B != bv.B {
+			return true
+		}
+	}
+	return false
+}
+
+// forcer replaces a host module's event handling during an injection run:
+// on its first delivery it assigns the faulty output configuration to the
+// module's output ports regardless of input values.
+type forcer struct {
+	host    *Host
+	pattern signal.Word
+	fired   bool
+}
+
+// HandlerName implements sim.Handler.
+func (f *forcer) HandlerName() string { return f.host.Module.ModuleName() + "#forced" }
+
+// HandleToken drives the faulty configuration once, then swallows
+// everything else addressed to the module.
+func (f *forcer) HandleToken(ctx *sim.Context, tok sim.Token) {
+	if f.fired {
+		return
+	}
+	f.fired = true
+	for i, p := range f.host.Module.OutputPorts() {
+		conn := p.Connector()
+		if conn == nil {
+			continue
+		}
+		peer := conn.Peer(p)
+		if peer == nil {
+			continue
+		}
+		ctx.Post(&sim.SignalToken{
+			T:     ctx.Now() + 1,
+			Dst:   peer.Owner(),
+			Port:  peer.Index,
+			Value: signal.BitValue{B: f.pattern.Bit(i)},
+			Src:   f.HandlerName(),
+		})
+	}
+}
+
+// hostInputBits converts a host's captured input port values to bits
+// (X for ports never driven).
+func hostInputBits(vals []signal.Value) []signal.Bit {
+	out := make([]signal.Bit, len(vals))
+	for i, v := range vals {
+		if bv, ok := v.(signal.BitValue); ok {
+			out[i] = bv.B
+		} else {
+			out[i] = signal.BX
+		}
+	}
+	return out
+}
+
+// Run executes the full two-phase protocol over the pattern sequence and
+// returns the detection result (same shape as the serial reference).
+func (vs *VirtualSimulator) Run(patterns [][]signal.Bit) (*Result, error) {
+	gfs, err := vs.buildFaultList()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Total:      len(gfs),
+		Detected:   make(map[string]int),
+		PerPattern: make([][]string, len(patterns)),
+	}
+	alive := make(map[*Host]map[string]bool, len(vs.hosts))
+	for _, gf := range gfs {
+		m := alive[gf.host]
+		if m == nil {
+			m = make(map[string]bool)
+			alive[gf.host] = m
+		}
+		m[gf.name] = true
+	}
+	for pi, pattern := range patterns {
+		if len(pattern) != len(vs.inputs) {
+			return nil, fmt.Errorf("fault: pattern %d has %d bits, design has %d inputs",
+				pi, len(pattern), len(vs.inputs))
+		}
+		if err := vs.runPattern(pi, pattern, alive, res); err != nil {
+			return nil, err
+		}
+		done := true
+		for _, m := range alive {
+			if len(m) > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	vs.clearHistories()
+	return res, nil
+}
+
+// runPattern performs the fault-free simulation, detection-table
+// exchange, and injection runs for one test pattern.
+func (vs *VirtualSimulator) runPattern(pi int, pattern []signal.Bit, alive map[*Host]map[string]bool, res *Result) error {
+	// Fault-free simulation, capturing each host's settled input values.
+	ctrl := vs.controller(pattern)
+	captured := make(map[*Host][]signal.Value, len(vs.hosts))
+	stats := ctrl.Start(nil, func(sched *sim.Scheduler) {
+		sched.AddInstantHook(func(ctx *sim.Context, _ sim.Time) {
+			for _, h := range vs.hosts {
+				captured[h] = h.Module.PortValues(ctx.SchedulerID(), module.In)
+			}
+		})
+	})
+	if stats.Err != nil {
+		return stats.Err
+	}
+	vs.Stats.FaultFreeRuns++
+	golden := vs.finalOutputs(stats.Scheduler)
+
+	for _, h := range vs.hosts {
+		if len(alive[h]) == 0 {
+			continue
+		}
+		inBits := hostInputBits(captured[h])
+		dt, err := h.Service.DetectionTable(inBits)
+		if err != nil {
+			return fmt.Errorf("fault: detection table of %s: %w", h.Module.ModuleName(), err)
+		}
+		vs.Stats.DetectionTableCalls++
+		for _, row := range dt.Rows {
+			// Only rows still carrying live faults are worth injecting.
+			var liveRow []string
+			for _, f := range row.Faults {
+				if alive[h][f] {
+					liveRow = append(liveRow, f)
+				}
+			}
+			if len(liveRow) == 0 {
+				continue
+			}
+			detected, err := vs.inject(pattern, h, row.Output, golden)
+			if err != nil {
+				return err
+			}
+			if !detected {
+				continue
+			}
+			for _, f := range liveRow {
+				delete(alive[h], f)
+				q := globalFault{host: h, name: f}.qualified()
+				res.Detected[q] = pi
+				res.PerPattern[pi] = append(res.PerPattern[pi], q)
+			}
+		}
+	}
+	return nil
+}
+
+// inject runs the single-injection simulation: the host's event handling
+// is overridden to force the erroneous output configuration, the current
+// test pattern is replayed at the primary inputs, and the design's
+// primary outputs are compared against the fault-free run.
+func (vs *VirtualSimulator) inject(pattern []signal.Bit, h *Host, bad signal.Word, golden []signal.Value) (bool, error) {
+	ctrl := vs.controller(pattern)
+	f := &forcer{host: h, pattern: bad}
+	stats := ctrl.Start(nil, func(sched *sim.Scheduler) {
+		sched.Override(h.Module.Base(), f)
+	})
+	if stats.Err != nil {
+		return false, stats.Err
+	}
+	vs.Stats.InjectionRuns++
+	faulty := vs.finalOutputs(stats.Scheduler)
+	return outputsDiffer(golden, faulty), nil
+}
+
+// clearHistories drops accumulated primary-output observations so
+// repeated Runs do not grow memory without bound.
+func (vs *VirtualSimulator) clearHistories() {
+	for _, po := range vs.outputs {
+		po.ClearHistory()
+	}
+}

@@ -1,0 +1,116 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wireNet and wireGate form the portable on-disk/on-wire snapshot of a
+// netlist. The codec exists for provider-side persistence and for the
+// model-encryption baseline (internal/sealed), which ships an encrypted
+// snapshot to the user — it is NOT part of the virtual-simulation
+// protocol, which never serializes netlists across the IP boundary.
+type wireNet struct {
+	Name string
+	IsPI bool
+	IsPO bool
+}
+
+type wireGate struct {
+	Kind int32
+	In   []int32
+	Out  int32
+}
+
+type wireNetlist struct {
+	Name  string
+	Nets  []wireNet
+	Gates []wireGate
+}
+
+// MarshalBinary encodes the netlist structure.
+func (n *Netlist) MarshalBinary() ([]byte, error) {
+	w := wireNetlist{Name: n.Name}
+	for _, ni := range n.nets {
+		w.Nets = append(w.Nets, wireNet{Name: ni.name, IsPI: ni.isPI, IsPO: ni.isPO})
+	}
+	for _, g := range n.gates {
+		wg := wireGate{Kind: int32(g.Kind), Out: int32(g.Out)}
+		for _, in := range g.In {
+			wg.In = append(wg.In, int32(in))
+		}
+		w.Gates = append(w.Gates, wg)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("gate: marshal %s: %w", n.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a snapshot produced by MarshalBinary into a
+// fresh netlist (n must be empty). Structural violations in the snapshot
+// (duplicate drivers, bad arities) are reported as errors rather than
+// panics, since snapshots may come from untrusted storage.
+func (n *Netlist) UnmarshalBinary(data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gate: unmarshal: invalid snapshot: %v", r)
+		}
+	}()
+	return n.unmarshalBinary(data)
+}
+
+func (n *Netlist) unmarshalBinary(data []byte) error {
+	if len(n.nets) != 0 || len(n.gates) != 0 {
+		return fmt.Errorf("gate: unmarshal into non-empty netlist %s", n.Name)
+	}
+	var w wireNetlist
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("gate: unmarshal: %w", err)
+	}
+	if n.byName == nil {
+		n.byName = make(map[string]NetID)
+	}
+	n.Name = w.Name
+	for _, wn := range w.Nets {
+		if wn.IsPI {
+			n.AddInput(wn.Name)
+		} else {
+			n.AddNet(wn.Name)
+		}
+	}
+	for _, wg := range w.Gates {
+		in := make([]NetID, len(wg.In))
+		for i, id := range wg.In {
+			if id < 0 || int(id) >= len(n.nets) {
+				return fmt.Errorf("gate: unmarshal: gate input net %d out of range", id)
+			}
+			in[i] = NetID(id)
+		}
+		if wg.Out < 0 || int(wg.Out) >= len(n.nets) {
+			return fmt.Errorf("gate: unmarshal: gate output net %d out of range", wg.Out)
+		}
+		n.AddGateTo(Kind(wg.Kind), NetID(wg.Out), in...)
+	}
+	for id, wn := range w.Nets {
+		if wn.IsPO {
+			n.MarkOutput(NetID(id))
+		}
+	}
+	return n.Build()
+}
+
+// Clone returns an independent deep copy of the netlist.
+func (n *Netlist) Clone() *Netlist {
+	b, err := n.MarshalBinary()
+	if err != nil {
+		panic(err) // marshalling an in-memory netlist cannot fail
+	}
+	c := NewNetlist("")
+	if err := c.UnmarshalBinary(b); err != nil {
+		panic(err)
+	}
+	return c
+}

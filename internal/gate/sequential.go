@@ -1,0 +1,189 @@
+package gate
+
+import (
+	"fmt"
+
+	"repro/internal/signal"
+)
+
+// Sequential models a synchronous sequential circuit in the standard
+// Huffman form: a combinational core plus a state register. State bits
+// appear to the core as extra primary inputs (present state) and extra
+// primary outputs (next state). This is the paper's "extension to
+// sequential circuits": under the full-scan assumption the register is
+// directly controllable and observable, so sequential fault simulation
+// reduces to combinational fault simulation of the core — which is what
+// internal/fault's ScanSimulate exploits.
+type Sequential struct {
+	// Comb is the combinational core.
+	Comb *Netlist
+	// StateIn are the core's present-state input nets (register outputs).
+	StateIn []NetID
+	// StateOut are the core's next-state output nets (register inputs).
+	StateOut []NetID
+
+	primaryIn  []NetID
+	primaryOut []NetID
+}
+
+// NewSequential wraps a combinational core. stateIn must be core primary
+// inputs; stateOut must be core primary outputs; they must have equal
+// length (the register width).
+func NewSequential(core *Netlist, stateIn, stateOut []NetID) (*Sequential, error) {
+	if len(stateIn) != len(stateOut) {
+		return nil, fmt.Errorf("gate: state register width mismatch: %d in, %d out", len(stateIn), len(stateOut))
+	}
+	inSet := make(map[NetID]bool, len(stateIn))
+	for _, id := range stateIn {
+		if !core.IsInput(id) {
+			return nil, fmt.Errorf("gate: state input %s is not a core primary input", core.NetName(id))
+		}
+		inSet[id] = true
+	}
+	outSet := make(map[NetID]bool, len(stateOut))
+	for _, id := range stateOut {
+		if !core.IsOutput(id) {
+			return nil, fmt.Errorf("gate: state output %s is not a core primary output", core.NetName(id))
+		}
+		outSet[id] = true
+	}
+	s := &Sequential{Comb: core, StateIn: stateIn, StateOut: stateOut}
+	for _, id := range core.Inputs() {
+		if !inSet[id] {
+			s.primaryIn = append(s.primaryIn, id)
+		}
+	}
+	for _, id := range core.Outputs() {
+		if !outSet[id] {
+			s.primaryOut = append(s.primaryOut, id)
+		}
+	}
+	if err := core.Build(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PrimaryInputs returns the non-state inputs.
+func (s *Sequential) PrimaryInputs() []NetID { return s.primaryIn }
+
+// PrimaryOutputs returns the non-state outputs.
+func (s *Sequential) PrimaryOutputs() []NetID { return s.primaryOut }
+
+// StateWidth returns the register width.
+func (s *Sequential) StateWidth() int { return len(s.StateIn) }
+
+// ResetState returns the all-zero state.
+func (s *Sequential) ResetState() []signal.Bit { return make([]signal.Bit, len(s.StateIn)) }
+
+// SeqEvaluator steps a Sequential cycle by cycle.
+type SeqEvaluator struct {
+	seq   *Sequential
+	ev    *Evaluator
+	state []signal.Bit
+
+	inIdx  map[NetID]int // core input net -> position in core input vector
+	outIdx map[NetID]int
+}
+
+// NewEvaluator returns a fresh sequential evaluator starting from the
+// reset (all-zero) state.
+func (s *Sequential) NewEvaluator() (*SeqEvaluator, error) {
+	ev, err := s.Comb.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	se := &SeqEvaluator{
+		seq:    s,
+		ev:     ev,
+		state:  s.ResetState(),
+		inIdx:  make(map[NetID]int),
+		outIdx: make(map[NetID]int),
+	}
+	for i, id := range s.Comb.Inputs() {
+		se.inIdx[id] = i
+	}
+	for i, id := range s.Comb.Outputs() {
+		se.outIdx[id] = i
+	}
+	return se, nil
+}
+
+// State returns the current register contents.
+func (se *SeqEvaluator) State() []signal.Bit { return append([]signal.Bit(nil), se.state...) }
+
+// SetState loads the register (the scan-in operation of a full-scan
+// design).
+func (se *SeqEvaluator) SetState(state []signal.Bit) error {
+	if len(state) != len(se.seq.StateIn) {
+		return fmt.Errorf("gate: state width %d, want %d", len(state), len(se.seq.StateIn))
+	}
+	copy(se.state, state)
+	return nil
+}
+
+// SetFault injects a stuck-at fault into the combinational core for all
+// subsequent cycles.
+func (se *SeqEvaluator) SetFault(f Fault) { se.ev.SetFault(f) }
+
+// ClearFaults removes injected faults.
+func (se *SeqEvaluator) ClearFaults() { se.ev.ClearFaults() }
+
+// Step applies one clock cycle: the core evaluates over (inputs, state),
+// the primary outputs are returned, and the register latches next state.
+func (se *SeqEvaluator) Step(inputs []signal.Bit) ([]signal.Bit, error) {
+	if len(inputs) != len(se.seq.primaryIn) {
+		return nil, fmt.Errorf("gate: %d inputs, want %d", len(inputs), len(se.seq.primaryIn))
+	}
+	full := make([]signal.Bit, len(se.seq.Comb.Inputs()))
+	for i, id := range se.seq.primaryIn {
+		full[se.inIdx[id]] = inputs[i]
+	}
+	for i, id := range se.seq.StateIn {
+		full[se.inIdx[id]] = se.state[i]
+	}
+	coreOut, err := se.ev.Eval(full)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]signal.Bit, len(se.seq.primaryOut))
+	for i, id := range se.seq.primaryOut {
+		outs[i] = coreOut[se.outIdx[id]]
+	}
+	for i, id := range se.seq.StateOut {
+		se.state[i] = coreOut[se.outIdx[id]]
+	}
+	return outs, nil
+}
+
+// SequentialCounter builds a width-bit synchronous counter with an
+// enable input: state' = state + en, output = state. A compact sequential
+// workload for tests and benchmarks.
+func SequentialCounter(width int) (*Sequential, error) {
+	core := NewNetlist(fmt.Sprintf("ctr%d", width))
+	en := core.AddInput("en")
+	st := make([]NetID, width)
+	for i := 0; i < width; i++ {
+		st[i] = core.AddInput(fmt.Sprintf("q%d", i))
+	}
+	// Ripple increment: next[i] = q[i] XOR carry[i]; carry[0] = en,
+	// carry[i+1] = carry[i] AND q[i].
+	carry := en
+	next := make([]NetID, width)
+	for i := 0; i < width; i++ {
+		next[i] = core.AddGate(Xor, fmt.Sprintf("n%d", i), st[i], carry)
+		if i < width-1 {
+			carry = core.AddGate(And, fmt.Sprintf("c%d", i), carry, st[i])
+		}
+	}
+	// Observable output: the current state, buffered.
+	outs := make([]NetID, width)
+	for i := 0; i < width; i++ {
+		outs[i] = core.AddGate(Buf, fmt.Sprintf("o%d", i), st[i])
+		core.MarkOutput(outs[i])
+	}
+	for i := 0; i < width; i++ {
+		core.MarkOutput(next[i])
+	}
+	return NewSequential(core, st, next)
+}

@@ -1,0 +1,184 @@
+package iplib
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+	"repro/internal/signal"
+)
+
+// IPClient is the typed stub layer over one provider session — the
+// downloaded RMI stub of the paper's three-part component split. It
+// carries no IP: every method is a thin envelope around internal/rmi.
+type IPClient struct {
+	// RPC is the underlying authenticated client (exposed so callers can
+	// set the network profile and meter).
+	RPC *rmi.Client
+}
+
+// NewIPClient wraps an authenticated RPC client.
+func NewIPClient(rpc *rmi.Client) *IPClient { return &IPClient{RPC: rpc} }
+
+// Catalogue lists the provider's components.
+func (c *IPClient) Catalogue() ([]ComponentSpec, error) {
+	var resp CatalogueResp
+	if err := c.RPC.Call(MethodCatalogue, CatalogueReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Specs, nil
+}
+
+// Bind instantiates a component at the given width with the selected
+// models (nil = all offered) and returns the bound instance.
+func (c *IPClient) Bind(component string, width int, models []string) (*BoundInstance, error) {
+	var resp BindResp
+	err := c.RPC.Call(MethodBind, BindReq{Component: component, Width: width, Models: models}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundInstance{client: c, id: resp.Instance, component: component, width: width, enabled: resp.Enabled}, nil
+}
+
+// Negotiate asks the provider for its best admissible offer per
+// constraint before binding. Offers[i]/Rejections[i] align with
+// constraints[i]; an empty rejection means the offer stands.
+func (c *IPClient) Negotiate(component string, constraints []ModelConstraint) (*NegotiateResp, error) {
+	var resp NegotiateResp
+	req := NegotiateReq{Component: component, Constraints: constraints}
+	if err := c.RPC.Call(MethodNegotiate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Fees returns the session's accumulated bill in cents.
+func (c *IPClient) Fees() (float64, error) {
+	var resp FeesResp
+	if err := c.RPC.Call(MethodFees, FeesReq{}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.TotalCents, nil
+}
+
+// BoundInstance is one instantiated remote component.
+type BoundInstance struct {
+	client    *IPClient
+	id        uint64
+	component string
+	width     int
+	enabled   []EstimatorOffer
+}
+
+// ID returns the provider-side instance handle.
+func (b *BoundInstance) ID() uint64 { return b.id }
+
+// Width returns the negotiated instantiation width.
+func (b *BoundInstance) Width() int { return b.width }
+
+// Component returns the catalogue name.
+func (b *BoundInstance) Component() string { return b.component }
+
+// Enabled returns the estimator offers enabled at bind time.
+func (b *BoundInstance) Enabled() []EstimatorOffer {
+	return append([]EstimatorOffer(nil), b.enabled...)
+}
+
+// Meter returns the session's network meter (nil when unmetered).
+func (b *BoundInstance) Meter() *netsim.Meter { return b.client.RPC.Meter }
+
+// Eval evaluates the component functionality remotely (the MR path).
+func (b *BoundInstance) Eval(inputs []signal.Bit) ([]signal.Bit, error) {
+	var resp EvalResp
+	err := b.client.RPC.Call(MethodEval, EvalReq{Instance: b.id, Inputs: inputs}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Outputs, nil
+}
+
+// PowerBatch runs the provider's gate-level power estimator over a
+// buffered pattern sequence, returning per-pattern power.
+func (b *BoundInstance) PowerBatch(patterns [][]signal.Bit, skipCompute bool) ([]float64, error) {
+	var resp PowerBatchResp
+	req := PowerBatchReq{Instance: b.id, Patterns: patterns, SkipCompute: skipCompute}
+	if err := b.client.RPC.Call(MethodPowerBatch, req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.PowerPerPattern, nil
+}
+
+// PowerBatchAsync is PowerBatch on a worker goroutine — the nonblocking
+// estimation path. The callback runs when the batch completes.
+func (b *BoundInstance) PowerBatchAsync(patterns [][]signal.Bit, skipCompute bool, done func([]float64, error)) {
+	resp := new(PowerBatchResp)
+	req := PowerBatchReq{Instance: b.id, Patterns: patterns, SkipCompute: skipCompute}
+	p := b.client.RPC.Go(MethodPowerBatch, req, resp)
+	go func() {
+		<-p.Done
+		if err := p.Err(); err != nil {
+			done(nil, err)
+			return
+		}
+		done(resp.PowerPerPattern, nil)
+	}()
+}
+
+// TimingBatch runs the provider's input-dependent timing analysis over a
+// buffered pattern sequence, returning per-pattern switching delay (ps).
+func (b *BoundInstance) TimingBatch(patterns [][]signal.Bit) ([]float64, error) {
+	var resp TimingBatchResp
+	req := TimingBatchReq{Instance: b.id, Patterns: patterns}
+	if err := b.client.RPC.Call(MethodTimingBatch, req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.DelayPerPattern, nil
+}
+
+// Static returns a static metric computed from the private implementation
+// (area in equivalent gates, delay in picoseconds).
+func (b *BoundInstance) Static(param string) (float64, error) {
+	var resp StaticResp
+	if err := b.client.RPC.Call(MethodStatic, StaticReq{Instance: b.id, Param: param}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// TestSet purchases a compacted test sequence for the component.
+func (b *BoundInstance) TestSet(maxCandidates int, seed int64) (*fault.TestSet, error) {
+	var resp TestSetResp
+	req := TestSetReq{Instance: b.id, MaxCandidates: maxCandidates, Seed: seed}
+	if err := b.client.RPC.Call(MethodTestSet, req, &resp); err != nil {
+		return nil, err
+	}
+	return &fault.TestSet{Patterns: resp.Patterns, Coverage: resp.Coverage}, nil
+}
+
+// FaultList implements fault.TestabilityService.
+func (b *BoundInstance) FaultList() ([]string, error) {
+	var resp FaultListResp
+	if err := b.client.RPC.Call(MethodFaultList, FaultListReq{Instance: b.id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// DetectionTable implements fault.TestabilityService.
+func (b *BoundInstance) DetectionTable(inputs []signal.Bit) (*fault.DetectionTable, error) {
+	var resp FaultTableResp
+	req := FaultTableReq{Instance: b.id, Inputs: inputs}
+	if err := b.client.RPC.Call(MethodFaultTable, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp.Table, nil
+}
+
+// compile-time check: a bound instance is a remote testability service.
+var _ fault.TestabilityService = (*BoundInstance)(nil)
+
+// String identifies the instance in diagnostics.
+func (b *BoundInstance) String() string {
+	return fmt.Sprintf("%s#%d(width=%d)", b.component, b.id, b.width)
+}

@@ -1,0 +1,158 @@
+package module
+
+import (
+	"repro/internal/estim"
+	"repro/internal/sim"
+)
+
+// Circuit is a hierarchical collection of interconnected components. A
+// Circuit is itself a Module (with no ports of its own), so designs
+// compose to arbitrary depth. The circuit never receives tokens; it
+// exists to own its children for elaboration, setup application, and
+// simulation control.
+type Circuit struct {
+	*Skeleton
+	children []Module
+}
+
+// NewCircuit returns a circuit containing the given modules.
+func NewCircuit(name string, modules ...Module) *Circuit {
+	c := &Circuit{Skeleton: NewSkeleton(name, nil)}
+	c.children = append(c.children, modules...)
+	return c
+}
+
+// Add appends a module to the circuit.
+func (c *Circuit) Add(ms ...Module) { c.children = append(c.children, ms...) }
+
+// Children returns the circuit's direct submodules.
+func (c *Circuit) Children() []Module { return c.children }
+
+// Leaves returns every non-container module in the hierarchy, depth
+// first. These are the handlers a simulation must reset and the
+// components estimation setups select estimators for.
+func (c *Circuit) Leaves() []Module {
+	var out []Module
+	var walk func(m Module)
+	walk = func(m Module) {
+		kids := m.Children()
+		if len(kids) == 0 {
+			out = append(out, m)
+			return
+		}
+		for _, k := range kids {
+			walk(k)
+		}
+	}
+	for _, m := range c.children {
+		walk(m)
+	}
+	return out
+}
+
+// ApplySetup hierarchically applies an estimation setup to a module and
+// all its submodules — the paper's setup.apply(<module>). Applying to the
+// circuit (the top module) applies the same criteria to every component.
+func ApplySetup(s *estim.Setup, root Module) {
+	kids := root.Children()
+	if len(kids) == 0 {
+		s.SelectFor(root)
+		return
+	}
+	for _, k := range kids {
+		ApplySetup(s, k)
+	}
+}
+
+// Simulation is the paper's SimulationController: it owns a design and
+// runs event-driven simulations over it, optionally estimating cost
+// metrics under a setup. Multiple setups for the same design and multiple
+// simulations performed concurrently are both supported.
+type Simulation struct {
+	circuit *Circuit
+	ctrl    *sim.Controller
+	// Until bounds the simulated time; zero runs until the queue drains.
+	Until sim.Time
+	// EventLimit overrides the kernel's default event budget when nonzero.
+	EventLimit uint64
+}
+
+// NewSimulation returns a simulation controller over the circuit.
+func NewSimulation(c *Circuit) *Simulation {
+	leaves := c.Leaves()
+	handlers := make([]sim.Handler, len(leaves))
+	for i, m := range leaves {
+		handlers[i] = m
+	}
+	return &Simulation{circuit: c, ctrl: sim.NewController(handlers...)}
+}
+
+// Circuit returns the design under simulation.
+func (s *Simulation) Circuit() *Circuit { return s.circuit }
+
+// Start runs one simulation with the given setup (nil to simulate without
+// estimation). When a setup is supplied it is first applied hierarchically
+// to the whole design, and every leaf module receives an estimation token
+// at the end of each simulation time instant.
+func (s *Simulation) Start(setup *estim.Setup) sim.Stats {
+	return s.start(setup, nil)
+}
+
+// StartConfigured is Start with access to the scheduler before the run
+// begins — used by fault simulation to install handler overrides.
+func (s *Simulation) StartConfigured(setup *estim.Setup, configure func(*sim.Scheduler)) sim.Stats {
+	return s.start(setup, configure)
+}
+
+func (s *Simulation) start(setup *estim.Setup, configure func(*sim.Scheduler)) sim.Stats {
+	if setup != nil {
+		ApplySetup(setup, s.circuit)
+	}
+	s.ctrl.Options = sim.RunOptions{Until: s.Until}
+	s.ctrl.EventLimit = s.EventLimit
+	leaves := s.circuit.Leaves()
+	return s.ctrl.Start(setup, func(sched *sim.Scheduler) {
+		if setup != nil {
+			sched.AddInstantHook(func(ctx *sim.Context, completed sim.Time) {
+				for _, m := range leaves {
+					m.HandleToken(ctx, &sim.EstimationToken{T: completed, Dst: m, Setup: setup})
+				}
+			})
+		}
+		if configure != nil {
+			configure(sched)
+		}
+	})
+}
+
+// StartConcurrent runs n independent simulations of the design
+// concurrently, one scheduler each, with per-run setups. The kernel's
+// state isolation guarantees the runs cannot interfere.
+func (s *Simulation) StartConcurrent(setups []*estim.Setup) []sim.Stats {
+	for _, st := range setups {
+		if st != nil {
+			ApplySetup(st, s.circuit)
+		}
+	}
+	s.ctrl.Options = sim.RunOptions{Until: s.Until}
+	s.ctrl.EventLimit = s.EventLimit
+	leaves := s.circuit.Leaves()
+	return s.ctrl.StartConcurrent(len(setups),
+		func(i int) any {
+			if setups[i] == nil {
+				return nil
+			}
+			return setups[i]
+		},
+		func(i int, sched *sim.Scheduler) {
+			setup := setups[i]
+			if setup == nil {
+				return
+			}
+			sched.AddInstantHook(func(ctx *sim.Context, completed sim.Time) {
+				for _, m := range leaves {
+					m.HandleToken(ctx, &sim.EstimationToken{T: completed, Dst: m, Setup: setup})
+				}
+			})
+		})
+}

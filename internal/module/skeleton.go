@@ -1,0 +1,430 @@
+package module
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/estim"
+	"repro/internal/signal"
+	"repro/internal/sim"
+)
+
+// Module is gocad's design-component interface. Every component is built
+// around an embedded *Skeleton, which implements the full interface; the
+// component's specific functionality lives in its Behavior.
+type Module interface {
+	sim.Handler
+	estim.Component
+	// Ports returns the component's connection points.
+	Ports() []*Port
+	// Children returns submodules for hierarchical designs; leaf modules
+	// return nil.
+	Children() []Module
+}
+
+// PortEvent is one input event as seen by a behavior: which port, the new
+// value, and the value the port held before.
+type PortEvent struct {
+	Port  *Port
+	Value signal.Value
+	Prev  signal.Value
+}
+
+// Behavior is the specialization point of a module — the paper's
+// processInputEvent method. All other machinery (initialization, event
+// handling, setup control, estimator selection and invocation) comes from
+// Skeleton and need not be overridden.
+type Behavior interface {
+	ProcessInputEvent(ctx *Ctx, ev *PortEvent)
+}
+
+// SelfBehavior is implemented by autonomous modules that schedule events
+// for themselves (clock and stimulus generators).
+type SelfBehavior interface {
+	ProcessSelfEvent(ctx *Ctx, tok *sim.SelfToken)
+}
+
+// ControlBehavior is implemented by modules that react to control tokens
+// (runtime parameter changes, design traversal messages).
+type ControlBehavior interface {
+	ProcessControl(ctx *Ctx, tok *sim.ControlToken)
+}
+
+// ResetBehavior is implemented by modules that need per-scheduler
+// initialization before a run — typically to seed a first self-trigger.
+type ResetBehavior interface {
+	Reset(ctx *Ctx)
+}
+
+// runState is a module's per-scheduler mutable state: current and
+// previous values on every port, plus behavior-private state.
+type runState struct {
+	in      []signal.Value
+	prevIn  []signal.Value
+	out     []signal.Value
+	prevOut []signal.Value
+	user    any
+	// dirty is set when an input event arrives and cleared once the
+	// module's estimators have run, so estimation happens once per
+	// stimulus (per pattern), not once per simulation instant.
+	dirty bool
+}
+
+// Skeleton implements Module. Concrete components embed *Skeleton and
+// pass themselves (their Behavior) to NewSkeleton.
+type Skeleton struct {
+	name     string
+	behavior Behavior
+	ports    []*Port
+
+	state sim.StateTable
+
+	estMu      sync.RWMutex
+	candidates map[estim.Parameter][]estim.Estimator
+	selected   map[*estim.Setup]map[estim.Parameter]estim.Estimator
+}
+
+// NewSkeleton returns a skeleton for a component named name whose
+// functionality is implemented by behavior. behavior may be nil for
+// purely passive components.
+func NewSkeleton(name string, behavior Behavior) *Skeleton {
+	return &Skeleton{
+		name:       name,
+		behavior:   behavior,
+		candidates: make(map[estim.Parameter][]estim.Estimator),
+		selected:   make(map[*estim.Setup]map[estim.Parameter]estim.Estimator),
+	}
+}
+
+// AddPort creates a port on the module and ties it to the connector.
+func (sk *Skeleton) AddPort(name string, dir Direction, width int, conn *Connector) *Port {
+	p := &Port{Name: name, Dir: dir, Width: width, Index: len(sk.ports), owner: sk}
+	if conn != nil {
+		if conn.Width != 0 && width != 0 && conn.Width != width {
+			panic(fmt.Sprintf("module: port %s.%s width %d does not match connector %q width %d",
+				sk.name, name, width, conn.Name, conn.Width))
+		}
+		conn.attach(p)
+		p.conn = conn
+	}
+	sk.ports = append(sk.ports, p)
+	return p
+}
+
+// HandlerName implements sim.Handler.
+func (sk *Skeleton) HandlerName() string { return sk.name }
+
+// Base returns the skeleton itself. Signal tokens are addressed to the
+// embedded *Skeleton (ports record it as their owner), so kernel-level
+// operations that key on the delivery target — e.g. per-scheduler handler
+// overrides during fault injection — must use Base(), not the outer
+// module value.
+func (sk *Skeleton) Base() *Skeleton { return sk }
+
+// ModuleName implements estim.Component.
+func (sk *Skeleton) ModuleName() string { return sk.name }
+
+// Ports returns the module's ports in index order.
+func (sk *Skeleton) Ports() []*Port { return sk.ports }
+
+// Port returns the port with the given name, or nil.
+func (sk *Skeleton) Port(name string) *Port {
+	for _, p := range sk.ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Children returns nil: skeletons are leaf modules. Hierarchical
+// containers (Circuit) override this.
+func (sk *Skeleton) Children() []Module { return nil }
+
+// stateFor returns (creating on demand) the per-scheduler run state.
+func (sk *Skeleton) stateFor(id sim.SchedulerID) *runState {
+	return sk.state.GetOrCreate(id, func() any {
+		n := len(sk.ports)
+		return &runState{
+			in:      make([]signal.Value, n),
+			prevIn:  make([]signal.Value, n),
+			out:     make([]signal.Value, n),
+			prevOut: make([]signal.Value, n),
+		}
+	}).(*runState)
+}
+
+// ResetState implements sim.Resettable: it discards stale per-scheduler
+// state and runs the behavior's Reset hook.
+func (sk *Skeleton) ResetState(ctx *sim.Context) {
+	sk.state.Delete(ctx.SchedulerID())
+	sk.stateFor(ctx.SchedulerID())
+	if rb, ok := sk.behavior.(ResetBehavior); ok {
+		rb.Reset(&Ctx{Sim: ctx, sk: sk})
+	}
+}
+
+// ReleaseState implements sim.StateHolder.
+func (sk *Skeleton) ReleaseState(id sim.SchedulerID) { sk.state.Delete(id) }
+
+// HandleToken implements sim.Handler: it dispatches signal tokens to the
+// behavior, estimation tokens to the selected estimators, and self and
+// control tokens to the corresponding optional behaviors.
+func (sk *Skeleton) HandleToken(ctx *sim.Context, tok sim.Token) {
+	mctx := &Ctx{Sim: ctx, sk: sk}
+	switch t := tok.(type) {
+	case *sim.SignalToken:
+		if t.Port < 0 || t.Port >= len(sk.ports) {
+			panic(fmt.Sprintf("module: %s has no port %d", sk.name, t.Port))
+		}
+		rs := sk.stateFor(ctx.SchedulerID())
+		prev := rs.in[t.Port]
+		rs.prevIn[t.Port] = prev
+		rs.in[t.Port] = t.Value
+		rs.dirty = true
+		if sk.behavior != nil {
+			sk.behavior.ProcessInputEvent(mctx, &PortEvent{
+				Port:  sk.ports[t.Port],
+				Value: t.Value,
+				Prev:  prev,
+			})
+		}
+	case *sim.EstimationToken:
+		setup, _ := t.Setup.(*estim.Setup)
+		if setup == nil {
+			setup, _ = ctx.Setup.(*estim.Setup)
+		}
+		if setup != nil {
+			sk.runEstimators(ctx, setup)
+		}
+	case *sim.SelfToken:
+		if sb, ok := sk.behavior.(SelfBehavior); ok {
+			sb.ProcessSelfEvent(mctx, t)
+		}
+	case *sim.ControlToken:
+		if cb, ok := sk.behavior.(ControlBehavior); ok {
+			cb.ProcessControl(mctx, t)
+		}
+	}
+}
+
+// runEstimators invokes the estimators this setup selected for the module
+// and records their values. Estimation failures are recorded as null
+// values rather than aborting the simulation.
+func (sk *Skeleton) runEstimators(ctx *sim.Context, setup *estim.Setup) {
+	sk.estMu.RLock()
+	sel := sk.selected[setup]
+	sk.estMu.RUnlock()
+	if len(sel) == 0 {
+		return
+	}
+	rs := sk.stateFor(ctx.SchedulerID())
+	if !rs.dirty {
+		return
+	}
+	rs.dirty = false
+	ec := &estim.EvalContext{
+		Module:  sk.name,
+		Now:     int64(ctx.Now()),
+		Inputs:  sk.portValues(rs.in, In),
+		PrevIn:  sk.portValues(rs.prevIn, In),
+		Outputs: sk.portValues(rs.out, Out),
+		PrevOut: sk.portValues(rs.prevOut, Out),
+	}
+	for param, e := range sel {
+		v, err := e.Estimate(ec)
+		if err != nil {
+			v = estim.NullValue{}
+		}
+		setup.Record(sk.name, param, int64(ctx.Now()), v, e)
+	}
+}
+
+// portValues extracts the values of ports matching the direction (InOut
+// ports appear in both views).
+func (sk *Skeleton) portValues(vals []signal.Value, dir Direction) []signal.Value {
+	var out []signal.Value
+	for i, p := range sk.ports {
+		if p.Dir == dir || p.Dir == InOut {
+			out = append(out, vals[i])
+		}
+	}
+	return out
+}
+
+// AddEstimator registers a candidate estimator for one of the module's
+// parameters — the paper's addEstimator, called from a component's
+// constructor.
+func (sk *Skeleton) AddEstimator(e estim.Estimator) {
+	sk.estMu.Lock()
+	defer sk.estMu.Unlock()
+	sk.candidates[e.Parameter()] = append(sk.candidates[e.Parameter()], e)
+}
+
+// Candidates implements estim.Component.
+func (sk *Skeleton) Candidates(p estim.Parameter) []estim.Estimator {
+	sk.estMu.RLock()
+	defer sk.estMu.RUnlock()
+	return append([]estim.Estimator(nil), sk.candidates[p]...)
+}
+
+// SelectEstimator implements estim.Component: it stores the setup's
+// choice in the per-setup estimator table (the paper's hash table keyed
+// by setup controller).
+func (sk *Skeleton) SelectEstimator(s *estim.Setup, p estim.Parameter, e estim.Estimator) {
+	sk.estMu.Lock()
+	defer sk.estMu.Unlock()
+	m := sk.selected[s]
+	if m == nil {
+		m = make(map[estim.Parameter]estim.Estimator)
+		sk.selected[s] = m
+	}
+	m[p] = e
+}
+
+// SelectedEstimator returns the estimator a setup selected for a
+// parameter, if any.
+func (sk *Skeleton) SelectedEstimator(s *estim.Setup, p estim.Parameter) (estim.Estimator, bool) {
+	sk.estMu.RLock()
+	defer sk.estMu.RUnlock()
+	e, ok := sk.selected[s][p]
+	return e, ok
+}
+
+// PortValues snapshots the current values held by the module's ports of
+// the given direction for one scheduler, in port-index order. Fault
+// simulation uses this to capture the signal configuration at an IP
+// component's inputs — the only design information forwarded to the
+// provider.
+func (sk *Skeleton) PortValues(id sim.SchedulerID, dir Direction) []signal.Value {
+	rs := sk.stateFor(id)
+	var out []signal.Value
+	for i, p := range sk.ports {
+		if p.Dir == dir || p.Dir == InOut {
+			out = append(out, rs.in[i])
+			if p.Dir == Out {
+				out[len(out)-1] = rs.out[i]
+			}
+		}
+	}
+	return out
+}
+
+// OutputPorts returns the module's output ports in index order.
+func (sk *Skeleton) OutputPorts() []*Port {
+	var out []*Port
+	for _, p := range sk.ports {
+		if p.Dir == Out || p.Dir == InOut {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// InputPorts returns the module's input ports in index order.
+func (sk *Skeleton) InputPorts() []*Port {
+	var out []*Port
+	for _, p := range sk.ports {
+		if p.Dir == In || p.Dir == InOut {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EstimationParams implements estim.Component.
+func (sk *Skeleton) EstimationParams() []estim.Parameter {
+	sk.estMu.RLock()
+	defer sk.estMu.RUnlock()
+	ps := make([]estim.Parameter, 0, len(sk.candidates))
+	for p := range sk.candidates {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Ctx bundles the kernel context with the module it is delivering to,
+// giving behaviors their API surface.
+type Ctx struct {
+	Sim *sim.Context
+	sk  *Skeleton
+}
+
+// Now returns the current simulation time.
+func (c *Ctx) Now() sim.Time { return c.Sim.Now() }
+
+// Module returns the skeleton of the module being handled.
+func (c *Ctx) Module() *Skeleton { return c.sk }
+
+// Drive sends value from the module's output port across its connector,
+// delivering it to the peer module after delay time units. Driving an
+// input port, an invalid payload, or a dangling connector is tolerated
+// per the paper's semantics only for dangling connectors (no peer — the
+// event is dropped); the first two panic as structural design errors.
+func (c *Ctx) Drive(port *Port, value signal.Value, delay sim.Time) {
+	if port.owner != c.sk {
+		panic(fmt.Sprintf("module: %s driving foreign port %s.%s", c.sk.name, port.Module(), port.Name))
+	}
+	if port.Dir == In {
+		panic(fmt.Sprintf("module: %s driving input port %s", c.sk.name, port.Name))
+	}
+	if port.conn != nil && port.conn.Validate != nil {
+		if err := port.conn.Validate(value); err != nil {
+			panic(err)
+		}
+	}
+	rs := c.sk.stateFor(c.Sim.SchedulerID())
+	rs.prevOut[port.Index] = rs.out[port.Index]
+	rs.out[port.Index] = value
+	if port.conn == nil {
+		return
+	}
+	peer := port.conn.peer(port)
+	if peer == nil {
+		return
+	}
+	c.Sim.Post(&sim.SignalToken{
+		T:     c.Sim.Now() + delay,
+		Dst:   peer.owner,
+		Port:  peer.Index,
+		Value: value,
+		Src:   c.sk.name,
+	})
+}
+
+// ScheduleSelf posts a self-trigger token for the module.
+func (c *Ctx) ScheduleSelf(delay sim.Time, tag string, payload any) {
+	c.Sim.Post(&sim.SelfToken{T: c.Sim.Now() + delay, Dst: c.sk, Tag: tag, Payload: payload})
+}
+
+// Input returns the current value on a port (nil if never driven).
+func (c *Ctx) Input(port *Port) signal.Value {
+	return c.sk.stateFor(c.Sim.SchedulerID()).in[port.Index]
+}
+
+// State returns the behavior-private per-scheduler state.
+func (c *Ctx) State() any { return c.sk.stateFor(c.Sim.SchedulerID()).user }
+
+// SetState stores behavior-private per-scheduler state.
+func (c *Ctx) SetState(v any) { c.sk.stateFor(c.Sim.SchedulerID()).user = v }
+
+// InputWordOn reads the port's current value as a word, reporting whether
+// a known word of the port's width is present.
+func (c *Ctx) InputWordOn(port *Port) (signal.Word, bool) {
+	v := c.Input(port)
+	wv, ok := v.(signal.WordValue)
+	if !ok || !wv.W.Known() {
+		return signal.Word{}, false
+	}
+	return wv.W, true
+}
+
+// InputBitOn reads the port's current value as a bit (BX if absent).
+func (c *Ctx) InputBitOn(port *Port) signal.Bit {
+	v := c.Input(port)
+	bv, ok := v.(signal.BitValue)
+	if !ok {
+		return signal.BX
+	}
+	return bv.B
+}

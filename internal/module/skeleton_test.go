@@ -1,0 +1,256 @@
+package module
+
+import (
+	"testing"
+
+	"repro/internal/estim"
+	"repro/internal/signal"
+	"repro/internal/sim"
+)
+
+// ctlModule exercises the optional behavior interfaces: control tokens
+// and behavior-private state.
+type ctlModule struct {
+	*Skeleton
+	out      *Port
+	controls []string
+}
+
+func newCtlModule(name string, out *Connector) *ctlModule {
+	m := &ctlModule{}
+	m.Skeleton = NewSkeleton(name, m)
+	m.out = m.AddPort("out", Out, 4, out)
+	return m
+}
+
+func (m *ctlModule) ProcessInputEvent(ctx *Ctx, ev *PortEvent) {}
+
+func (m *ctlModule) ProcessControl(ctx *Ctx, tok *sim.ControlToken) {
+	m.controls = append(m.controls, tok.Command)
+	if tok.Command == "emit" {
+		ctx.Drive(m.out, word(7, 4), 1)
+	}
+}
+
+func TestControlTokenDispatch(t *testing.T) {
+	c := NewWordConnector("c", 4)
+	m := newCtlModule("m", c)
+	out := NewPrimaryOutput("out", 4, c)
+	ctrl := sim.NewController(m.Skeleton, out.Skeleton)
+	ctrl.Seed = func(ctx *sim.Context) {
+		ctx.Post(&sim.ControlToken{T: 1, Dst: m.Skeleton, Command: "emit"})
+		ctx.Post(&sim.ControlToken{T: 2, Dst: m.Skeleton, Command: "noop"})
+	}
+	st := ctrl.Start(nil, nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if len(m.controls) != 2 || m.controls[0] != "emit" {
+		t.Errorf("controls = %v", m.controls)
+	}
+	if len(out.LastHistory()) != 1 {
+		t.Error("control-driven emission missing")
+	}
+}
+
+func TestPortValuesSnapshots(t *testing.T) {
+	c1 := NewWordConnector("c1", 4)
+	c2 := NewWordConnector("c2", 4)
+	in := NewPatternInput("in", 4, []signal.Value{word(9, 4)}, 1, c1)
+	reg := NewRegister("reg", 4, c1, c2)
+	out := NewPrimaryOutput("out", 4, c2)
+	s := NewSimulation(NewCircuit("t", in, reg, out))
+	// Capture port values during the run via an instant hook.
+	var lastIn, lastOut []signal.Value
+	st := s.StartConfigured(nil, func(sched *sim.Scheduler) {
+		sched.AddInstantHook(func(ctx *sim.Context, _ sim.Time) {
+			lastIn = reg.PortValues(ctx.SchedulerID(), In)
+			lastOut = reg.PortValues(ctx.SchedulerID(), Out)
+		})
+	})
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if len(lastIn) != 1 || lastIn[0] == nil {
+		t.Fatalf("input snapshot = %v", lastIn)
+	}
+	v, _ := lastIn[0].(signal.WordValue).W.Uint64()
+	if v != 9 {
+		t.Errorf("captured input = %d", v)
+	}
+	if len(lastOut) != 1 || lastOut[0] == nil {
+		t.Fatalf("output snapshot = %v", lastOut)
+	}
+}
+
+func TestInputAndOutputPortLists(t *testing.T) {
+	reg := NewRegister("r", 4, nil, nil)
+	ins := reg.InputPorts()
+	outs := reg.OutputPorts()
+	if len(ins) != 1 || ins[0].Name != "d" {
+		t.Errorf("inputs = %v", ins)
+	}
+	if len(outs) != 1 || outs[0].Name != "q" {
+		t.Errorf("outputs = %v", outs)
+	}
+	if reg.Base() != reg.Skeleton {
+		t.Error("Base identity wrong")
+	}
+}
+
+func TestCandidatesReturnsCopy(t *testing.T) {
+	r := NewRegister("r", 4, nil, nil)
+	r.AddEstimator(&estim.Constant{Meta: estim.Meta{Name: "a", Param: estim.ParamArea}, Value: 1})
+	c1 := r.Candidates(estim.ParamArea)
+	c1[0] = nil
+	c2 := r.Candidates(estim.ParamArea)
+	if c2[0] == nil {
+		t.Error("Candidates leaked internal slice")
+	}
+	params := r.EstimationParams()
+	if len(params) != 1 || params[0] != estim.ParamArea {
+		t.Errorf("EstimationParams = %v", params)
+	}
+}
+
+func TestSelectedEstimatorLookup(t *testing.T) {
+	r := NewRegister("r", 4, nil, nil)
+	e := &estim.Constant{Meta: estim.Meta{Name: "a", Param: estim.ParamArea}, Value: 1}
+	r.AddEstimator(e)
+	s := estim.NewSetup("s")
+	s.Set(estim.ParamArea, estim.Criteria{})
+	s.SelectFor(r)
+	got, ok := r.SelectedEstimator(s, estim.ParamArea)
+	if !ok || got.EstimatorName() != "a" {
+		t.Errorf("selected = %v, %v", got, ok)
+	}
+	other := estim.NewSetup("other")
+	if _, ok := r.SelectedEstimator(other, estim.ParamArea); ok {
+		t.Error("selection leaked across setups")
+	}
+}
+
+func TestConnectorInputEnd(t *testing.T) {
+	c := NewWordConnector("c", 4)
+	in := NewPatternInput("in", 4, nil, 1, c) // attaches Out port
+	_ = in
+	if c.InputEnd() != nil {
+		t.Error("InputEnd found on output-only connector")
+	}
+	reg := NewRegister("r", 4, c, nil)
+	ie := c.InputEnd()
+	if ie == nil || ie.Owner() != reg.Skeleton {
+		t.Error("InputEnd wrong")
+	}
+	if c.Peer(ie) == nil {
+		t.Error("Peer lookup failed")
+	}
+}
+
+func TestMuxWithUnknownSelectHolds(t *testing.T) {
+	a := NewWordConnector("a", 4)
+	b := NewWordConnector("b", 4)
+	s := NewBitConnector("s")
+	o := NewWordConnector("o", 4)
+	ina := NewPatternInput("ina", 4, []signal.Value{word(1, 4)}, 1, a)
+	inb := NewPatternInput("inb", 4, []signal.Value{word(2, 4)}, 1, b)
+	selIn := NewPatternInput("sel", 1, []signal.Value{signal.BitValue{B: signal.BX}}, 2, s)
+	mux := NewMux2("mux", 4, a, b, s, o)
+	out := NewPrimaryOutput("out", 4, o)
+	st := NewSimulation(NewCircuit("t", ina, inb, selIn, mux, out)).Start(nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if len(out.LastHistory()) != 0 {
+		t.Error("mux drove output with X select")
+	}
+}
+
+func TestLastHistoryAmbiguousAfterTwoRuns(t *testing.T) {
+	c := NewWordConnector("c", 4)
+	in := NewPatternInput("in", 4, []signal.Value{word(1, 4)}, 1, c)
+	out := NewPrimaryOutput("out", 4, c)
+	s := NewSimulation(NewCircuit("t", in, out))
+	if st := s.Start(nil); st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if st := s.Start(nil); st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if out.LastHistory() != nil {
+		t.Error("LastHistory must refuse when two runs recorded")
+	}
+	out.ClearHistory()
+	if out.LastHistory() != nil {
+		t.Error("LastHistory after clear must be nil")
+	}
+}
+
+func TestFuncBitModuleBehavioral(t *testing.T) {
+	// A behavioral majority gate.
+	ins := []*Connector{NewBitConnector("i0"), NewBitConnector("i1"), NewBitConnector("i2")}
+	o := NewBitConnector("o")
+	maj := NewFuncBitModule("maj", func(in []signal.Bit) []signal.Bit {
+		n := 0
+		for _, b := range in {
+			if b == signal.B1 {
+				n++
+			}
+		}
+		return []signal.Bit{signal.FromBool(n >= 2)}
+	}, ins, []*Connector{o})
+	p0 := NewPatternInput("p0", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, ins[0])
+	p1 := NewPatternInput("p1", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 2, ins[1])
+	p2 := NewPatternInput("p2", 1, []signal.Value{signal.BitValue{B: signal.B0}}, 3, ins[2])
+	out := NewPrimaryOutput("out", 1, o)
+	st := NewSimulation(NewCircuit("t", maj, p0, p1, p2, out)).Start(nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	h := out.LastHistory()
+	if len(h) == 0 {
+		t.Fatal("no majority output")
+	}
+	if h[len(h)-1].Value.(signal.BitValue).B != signal.B1 {
+		t.Error("majority(1,1,0) != 1")
+	}
+}
+
+func TestFuncWordModuleBehavioral(t *testing.T) {
+	a := NewWordConnector("a", 8)
+	o := NewWordConnector("o", 8)
+	sq := NewFuncWordModule("twice", func(in []signal.Word) []signal.Word {
+		v, _ := in[0].Uint64()
+		return []signal.Word{signal.WordFromUint64(v*2&0xFF, 8)}
+	}, []int{8}, []int{8}, []*Connector{a}, []*Connector{o})
+	in := NewPatternInput("in", 8, []signal.Value{word(21, 8)}, 1, a)
+	out := NewPrimaryOutput("out", 8, o)
+	st := NewSimulation(NewCircuit("t", sq, in, out)).Start(nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	h := out.LastHistory()
+	if len(h) != 1 {
+		t.Fatal("no output")
+	}
+	v, _ := h[0].Value.(signal.WordValue).W.Uint64()
+	if v != 42 {
+		t.Errorf("2*21 = %d", v)
+	}
+}
+
+func TestFuncBitModuleWrongArityPanics(t *testing.T) {
+	ins := []*Connector{NewBitConnector("i")}
+	o := NewBitConnector("o")
+	bad := NewFuncBitModule("bad", func(in []signal.Bit) []signal.Bit {
+		return nil // wrong output count
+	}, ins, []*Connector{o})
+	in := NewPatternInput("in", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, ins[0])
+	s := NewSimulation(NewCircuit("t", bad, in))
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong function arity did not panic")
+		}
+	}()
+	s.Start(nil)
+}

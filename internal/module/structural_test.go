@@ -1,0 +1,167 @@
+package module
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/signal"
+)
+
+func TestGateModuleEval(t *testing.T) {
+	a := NewBitConnector("a")
+	b := NewBitConnector("b")
+	o := NewBitConnector("o")
+	ina := NewPatternInput("ina", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, a)
+	inb := NewPatternInput("inb", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, b)
+	g := NewGateModule("g", gate.Nand, []*Connector{a, b}, o)
+	out := NewPrimaryOutput("out", 1, o)
+	runCircuit(t, NewCircuit("top", ina, inb, g, out))
+	h := out.LastHistory()
+	if len(h) == 0 {
+		t.Fatal("no gate output")
+	}
+	if got := h[len(h)-1].Value.(signal.BitValue).B; got != signal.B0 {
+		t.Errorf("NAND(1,1) = %v, want 0", got)
+	}
+}
+
+func TestGateModuleSuppressesUnchangedOutput(t *testing.T) {
+	a := NewBitConnector("a")
+	o := NewBitConnector("o")
+	// Input toggles 0,0,1: BUF output should fire for the first 0 (X->0
+	// counts as a change from the unset state) and then for the 1.
+	seq := []signal.Value{
+		signal.BitValue{B: signal.B0},
+		signal.BitValue{B: signal.B0},
+		signal.BitValue{B: signal.B1},
+	}
+	in := NewPatternInput("in", 1, seq, 1, a)
+	g := NewGateModule("g", gate.Buf, []*Connector{a}, o)
+	out := NewPrimaryOutput("out", 1, o)
+	runCircuit(t, NewCircuit("top", in, g, out))
+	if got := len(out.LastHistory()); got != 2 {
+		t.Errorf("gate fired %d times, want 2 (event-driven suppression)", got)
+	}
+}
+
+func TestNetlistModuleMatchesDirectEval(t *testing.T) {
+	nl := gate.RippleAdder(3)
+	width := 6
+	// Drive the 6 inputs from a word via WordToBits, read the 4 outputs
+	// via BitsToWord — a full mixed-level pipeline.
+	wconn := NewWordConnector("w", width)
+	bitConns := make([]*Connector, width)
+	for i := range bitConns {
+		bitConns[i] = NewBitConnector("b" + string(rune('0'+i)))
+	}
+	outBits := make([]*Connector, 4)
+	for i := range outBits {
+		outBits[i] = NewBitConnector("ob" + string(rune('0'+i)))
+	}
+	oconn := NewWordConnector("o", 4)
+
+	r := rand.New(rand.NewSource(5))
+	var vals []signal.Value
+	var raw []uint64
+	for i := 0; i < 20; i++ {
+		v := uint64(r.Intn(64))
+		raw = append(raw, v)
+		vals = append(vals, word(v, width))
+	}
+	in := NewPatternInput("in", width, vals, 10, wconn)
+	split := NewWordToBits("split", width, wconn, bitConns)
+	nm := NewNetlistModule("rca", nl, bitConns, outBits)
+	join := NewBitsToWord("join", 4, outBits, oconn)
+	out := NewPrimaryOutput("out", 4, oconn)
+	runCircuit(t, NewCircuit("top", in, split, nm, join, out))
+
+	h := out.LastHistory()
+	if len(h) == 0 {
+		t.Fatal("no outputs")
+	}
+	// The final stable observation per pattern instant must equal the sum
+	// a+b where a = low 3 bits, b = high 3 bits. Check the last value
+	// observed before each next pattern time.
+	byTime := map[int64]uint64{}
+	for _, obs := range h {
+		if wv, ok := obs.Value.(signal.WordValue); ok {
+			if v, known := wv.W.Uint64(); known {
+				byTime[int64(obs.Time)] = v
+			}
+		}
+	}
+	checked := 0
+	for i, v := range raw {
+		a := v & 7
+		b := (v >> 3) & 7
+		// Pattern i issued at t=10*(i+1); netlist output settles within
+		// the same region (delays: split 0, netlist 1, join 0).
+		tEmit := int64(10*(i+1)) + 1
+		got, ok := byTime[tEmit]
+		if !ok {
+			continue // output unchanged from previous pattern
+		}
+		if got != a+b {
+			t.Errorf("pattern %d: %d+%d = %d, want %d", i, a, b, got, a+b)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Errorf("only %d patterns produced distinct sums; wiring suspect", checked)
+	}
+}
+
+func TestNetlistModulePortCountMismatchPanics(t *testing.T) {
+	nl := gate.RippleAdder(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("port mismatch did not panic")
+		}
+	}()
+	NewNetlistModule("bad", nl, []*Connector{nil}, []*Connector{nil})
+}
+
+func TestWordToBitsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	NewWordToBits("w2b", 4, nil, []*Connector{nil})
+}
+
+func TestBitsToWordAssembly(t *testing.T) {
+	ins := []*Connector{NewBitConnector("i0"), NewBitConnector("i1")}
+	o := NewWordConnector("o", 2)
+	p0 := NewPatternInput("p0", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, ins[0])
+	p1 := NewPatternInput("p1", 1, []signal.Value{signal.BitValue{B: signal.B0}}, 2, ins[1])
+	j := NewBitsToWord("j", 2, ins, o)
+	out := NewPrimaryOutput("out", 2, o)
+	runCircuit(t, NewCircuit("top", p0, p1, j, out))
+	h := out.LastHistory()
+	if len(h) == 0 {
+		t.Fatal("no assembled word")
+	}
+	last := h[len(h)-1].Value.(signal.WordValue).W
+	if last.Bit(0) != signal.B1 || last.Bit(1) != signal.B0 {
+		t.Errorf("assembled word = %v", last)
+	}
+}
+
+func TestBitsToWordUnknownBitsAreX(t *testing.T) {
+	ins := []*Connector{NewBitConnector("i0"), NewBitConnector("i1")}
+	o := NewWordConnector("o", 2)
+	p0 := NewPatternInput("p0", 1, []signal.Value{signal.BitValue{B: signal.B1}}, 1, ins[0])
+	j := NewBitsToWord("j", 2, ins, o)
+	out := NewPrimaryOutput("out", 2, o)
+	runCircuit(t, NewCircuit("top", p0, j, out))
+	h := out.LastHistory()
+	if len(h) == 0 {
+		t.Fatal("no word")
+	}
+	w := h[0].Value.(signal.WordValue).W
+	if w.Bit(1) != signal.BX {
+		t.Errorf("undriven bit = %v, want X", w.Bit(1))
+	}
+}

@@ -1,0 +1,117 @@
+// Package netsim emulates the three network environments of the paper's
+// performance study — the same host (Local), the campus LAN, and the
+// Bologna–Padova WAN — by computing deterministic, profile-dependent
+// transfer delays that the RPC layer injects around each call, and by
+// metering the time a client spends blocked on the (emulated) network.
+// The CPU-time/real-time split of Table 2 is reconstructed from these
+// meters: real time is wall-clock, CPU time is wall-clock minus blocked
+// time.
+//
+// The absolute magnitudes are scaled down from 1999 reality so the full
+// Table 2 grid reruns in seconds; the RATIOS between profiles follow the
+// paper's measured environments (WAN round trips two orders of magnitude
+// above local IPC, LAN in between).
+package netsim
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Profile characterizes one network environment.
+type Profile struct {
+	Name string
+	// OneWay is the fixed latency added to each direction of a call.
+	OneWay time.Duration
+	// PerKB is the serialization delay per kilobyte transferred.
+	PerKB time.Duration
+	// Jitter is the maximum extra random delay per direction.
+	Jitter time.Duration
+}
+
+// The three environments of Table 2, plus the no-RMI baseline.
+var (
+	// InProcess models a direct call with no RMI at all (the AL case).
+	InProcess = Profile{Name: "none"}
+	// Local runs client and server on the same host: RMI marshalling
+	// without network transit.
+	Local = Profile{Name: "local", OneWay: 50 * time.Microsecond, PerKB: 5 * time.Microsecond}
+	// LAN is a lightly loaded campus network.
+	LAN = Profile{Name: "LAN", OneWay: 500 * time.Microsecond, PerKB: 40 * time.Microsecond, Jitter: 200 * time.Microsecond}
+	// WAN is a long-distance Internet path.
+	WAN = Profile{Name: "WAN", OneWay: 12 * time.Millisecond, PerKB: 400 * time.Microsecond, Jitter: 4 * time.Millisecond}
+)
+
+// ProfileByName returns the profile with the given name, defaulting to
+// InProcess for unknown names.
+func ProfileByName(name string) Profile {
+	switch name {
+	case Local.Name:
+		return Local
+	case LAN.Name:
+		return LAN
+	case WAN.Name:
+		return WAN
+	}
+	return InProcess
+}
+
+// Delay returns the emulated one-way transfer time for a message of the
+// given size. r supplies jitter; a nil r means no jitter.
+func (p Profile) Delay(bytes int, r *rand.Rand) time.Duration {
+	d := p.OneWay + time.Duration(int64(p.PerKB)*int64(bytes)/1024)
+	if p.Jitter > 0 && r != nil {
+		d += time.Duration(r.Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+// RoundTrip returns the emulated request+response delay.
+func (p Profile) RoundTrip(reqBytes, respBytes int, r *rand.Rand) time.Duration {
+	return p.Delay(reqBytes, r) + p.Delay(respBytes, r)
+}
+
+// Meter accumulates a client's network accounting: how long it sat
+// blocked on calls, how many calls it made, and how many bytes moved.
+// Meters are safe for concurrent use (nonblocking estimation flushes from
+// worker goroutines).
+type Meter struct {
+	blocked atomic.Int64 // nanoseconds
+	calls   atomic.Int64
+	bytes   atomic.Int64
+}
+
+// AddBlocked records time spent blocked on the network.
+func (m *Meter) AddBlocked(d time.Duration) { m.blocked.Add(int64(d)) }
+
+// AddCall records one completed call moving n bytes.
+func (m *Meter) AddCall(n int) { m.calls.Add(1); m.bytes.Add(int64(n)) }
+
+// Blocked returns the total time spent blocked.
+func (m *Meter) Blocked() time.Duration { return time.Duration(m.blocked.Load()) }
+
+// Calls returns the number of completed calls.
+func (m *Meter) Calls() int64 { return m.calls.Load() }
+
+// Bytes returns the total bytes transferred.
+func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.blocked.Store(0)
+	m.calls.Store(0)
+	m.bytes.Store(0)
+}
+
+// Split decomposes a measured wall-clock duration into the Table 2
+// columns: real time (wall) and CPU time (wall minus blocked, floored at
+// zero — overlapping nonblocking calls can accumulate more blocked time
+// than the critical path).
+func (m *Meter) Split(wall time.Duration) (cpu, real time.Duration) {
+	cpu = wall - m.Blocked()
+	if cpu < 0 {
+		cpu = 0
+	}
+	return cpu, wall
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestProfileOrdering(t *testing.T) {
+	// The environments must be strictly ordered in cost for any message.
+	for _, bytes := range []int{16, 1024, 65536} {
+		dl := Local.Delay(bytes, nil)
+		dn := LAN.Delay(bytes, nil)
+		dw := WAN.Delay(bytes, nil)
+		if !(dl < dn && dn < dw) {
+			t.Errorf("%d bytes: local=%v lan=%v wan=%v not ordered", bytes, dl, dn, dw)
+		}
+	}
+	if InProcess.Delay(1024, nil) != 0 {
+		t.Error("in-process delay must be zero")
+	}
+}
+
+func TestDelayGrowsWithSize(t *testing.T) {
+	small := WAN.Delay(100, nil)
+	big := WAN.Delay(100_000, nil)
+	if big <= small {
+		t.Errorf("delay not size-dependent: %v vs %v", small, big)
+	}
+}
+
+func TestDelayJitterBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	base := WAN.Delay(1000, nil)
+	for i := 0; i < 100; i++ {
+		d := WAN.Delay(1000, r)
+		if d < base || d > base+WAN.Jitter {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, base, base+WAN.Jitter)
+		}
+	}
+}
+
+func TestRoundTripIsTwoDelays(t *testing.T) {
+	rt := LAN.RoundTrip(1000, 2000, nil)
+	if rt != LAN.Delay(1000, nil)+LAN.Delay(2000, nil) {
+		t.Error("round trip not additive")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range []Profile{Local, LAN, WAN} {
+		if got := ProfileByName(p.Name); got.Name != p.Name {
+			t.Errorf("ProfileByName(%q) = %q", p.Name, got.Name)
+		}
+	}
+	if ProfileByName("mars").Name != InProcess.Name {
+		t.Error("unknown profile not defaulted")
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	var m Meter
+	m.AddBlocked(100 * time.Millisecond)
+	m.AddBlocked(50 * time.Millisecond)
+	m.AddCall(1000)
+	m.AddCall(500)
+	if m.Blocked() != 150*time.Millisecond {
+		t.Errorf("blocked = %v", m.Blocked())
+	}
+	if m.Calls() != 2 || m.Bytes() != 1500 {
+		t.Errorf("calls=%d bytes=%d", m.Calls(), m.Bytes())
+	}
+	cpu, real := m.Split(200 * time.Millisecond)
+	if real != 200*time.Millisecond || cpu != 50*time.Millisecond {
+		t.Errorf("split = %v, %v", cpu, real)
+	}
+	// Blocked exceeding wall floors CPU at zero.
+	cpu, _ = m.Split(100 * time.Millisecond)
+	if cpu != 0 {
+		t.Errorf("over-blocked cpu = %v, want 0", cpu)
+	}
+	m.Reset()
+	if m.Blocked() != 0 || m.Calls() != 0 || m.Bytes() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMeterConcurrentSafe(t *testing.T) {
+	var m Meter
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				m.AddBlocked(time.Microsecond)
+				m.AddCall(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if m.Calls() != 8000 || m.Blocked() != 8000*time.Microsecond {
+		t.Errorf("concurrent accounting lost updates: %d calls, %v", m.Calls(), m.Blocked())
+	}
+}

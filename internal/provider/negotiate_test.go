@@ -1,0 +1,97 @@
+package provider
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/estim"
+	"repro/internal/iplib"
+)
+
+func TestNegotiateBestAdmissible(t *testing.T) {
+	_, c := startProvider(t)
+	resp, err := c.Negotiate("MultFastLowPower", []iplib.ModelConstraint{
+		{Param: string(estim.ParamAvgPower)}, // unconstrained -> gate-level
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rejections[0] != "" {
+		t.Fatalf("unconstrained demand rejected: %q", resp.Rejections[0])
+	}
+	if resp.Offers[0].Name != "gate-level-toggle-count" {
+		t.Errorf("best offer = %q, want gate-level-toggle-count", resp.Offers[0].Name)
+	}
+}
+
+func TestNegotiateFreeOnly(t *testing.T) {
+	_, c := startProvider(t)
+	resp, err := c.Negotiate("MultFastLowPower", []iplib.ModelConstraint{
+		{Param: string(estim.ParamAvgPower), MaxCostCents: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Offers[0].Name != "linear-regression" {
+		t.Errorf("free best = %q, want linear-regression", resp.Offers[0].Name)
+	}
+}
+
+func TestNegotiateForbidRemote(t *testing.T) {
+	_, c := startProvider(t)
+	resp, err := c.Negotiate("MultFastLowPower", []iplib.ModelConstraint{
+		{Param: string(estim.ParamAvgPower), ForbidRemote: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Offers[0].Remote {
+		t.Error("remote offer despite ForbidRemote")
+	}
+	if resp.Offers[0].Name != "linear-regression" {
+		t.Errorf("local best = %q", resp.Offers[0].Name)
+	}
+}
+
+func TestNegotiateOverConstrainedRejected(t *testing.T) {
+	_, c := startProvider(t)
+	resp, err := c.Negotiate("MultFastLowPower", []iplib.ModelConstraint{
+		{Param: string(estim.ParamAvgPower), MaxErrPct: 5, ForbidRemote: true},
+		{Param: string(estim.ParamArea)}, // no area model offered (Figure 1: "Area model 0")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rej := range resp.Rejections {
+		if rej == "" {
+			t.Errorf("constraint %d unexpectedly satisfied: %+v", i, resp.Offers[i])
+		}
+		if !strings.Contains(rej, "no ") {
+			t.Errorf("rejection %d unreadable: %q", i, rej)
+		}
+	}
+}
+
+func TestNegotiateMixedRound(t *testing.T) {
+	_, c := startProvider(t)
+	resp, err := c.Negotiate("MultFastLowPower", []iplib.ModelConstraint{
+		{Param: string(estim.ParamAvgPower), MaxErrPct: 30, ForbidRemote: true},
+		{Param: string(estim.ParamAvgPower), MaxErrPct: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rejections[0] != "" || resp.Offers[0].Name != "linear-regression" {
+		t.Errorf("round 1: %+v / %q", resp.Offers[0], resp.Rejections[0])
+	}
+	if resp.Rejections[1] != "" || resp.Offers[1].Name != "gate-level-toggle-count" {
+		t.Errorf("round 2: %+v / %q", resp.Offers[1], resp.Rejections[1])
+	}
+}
+
+func TestNegotiateUnknownComponent(t *testing.T) {
+	_, c := startProvider(t)
+	if _, err := c.Negotiate("NoSuch", nil); err == nil {
+		t.Error("unknown component negotiated")
+	}
+}

@@ -1,0 +1,424 @@
+// Package provider implements the JavaCAD server of the paper's Figure 1:
+// the IP provider's side of the client-server architecture. A Provider
+// hosts the PRIVATE PARTS of its components — gate-level netlists and the
+// accurate estimators that need them (the PPP power simulator, static
+// area/delay analysis, fault lists and detection tables) — and serves
+// them to authenticated IP users over internal/rmi, metering fees per
+// use. The netlists themselves never leave the process: every response is
+// vetted by the marshalling policy and carries only port-value data.
+package provider
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/estim"
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/iplib"
+	"repro/internal/ppp"
+	"repro/internal/rmi"
+	"repro/internal/security"
+	"repro/internal/signal"
+)
+
+// Component couples a catalogue spec with the private implementation
+// generator. Build runs at bind time with the negotiated width.
+type Component struct {
+	Spec iplib.ComponentSpec
+	// Build generates the private gate-level implementation.
+	Build func(width int) (*gate.Netlist, error)
+	// PowerFeeCents is charged per pattern of remote power estimation
+	// (Table 1: 0.1 cents per pattern for the gate-level estimator).
+	PowerFeeCents float64
+	// EvalFeeCents is charged per remote functional evaluation.
+	EvalFeeCents float64
+	// TableFeeCents is charged per detection-table query.
+	TableFeeCents float64
+	// TestSetFeeCents is charged per purchased test sequence.
+	TestSetFeeCents float64
+	// TimingFeeCents is charged per pattern of remote timing analysis.
+	TimingFeeCents float64
+}
+
+// instance is the per-session state of one bound component.
+type instance struct {
+	mu     sync.Mutex
+	comp   *Component
+	width  int
+	nl     *gate.Netlist
+	ev     *gate.Evaluator
+	power  *ppp.Simulator
+	timing *ppp.TimingSimulator
+	test   *fault.LocalTestability
+	lib    *ppp.Library
+}
+
+// Provider is one IP provider server.
+type Provider struct {
+	// Server is the underlying RPC endpoint (exposed for Authorize,
+	// Listen, Close).
+	Server *rmi.Server
+	// Library is the cell library used for power/area/delay; nil selects
+	// ppp.DefaultLibrary.
+	Library *ppp.Library
+	// FaultNaming selects how symbolic fault names are spelled.
+	FaultNaming fault.Naming
+
+	mu         sync.Mutex
+	components map[string]*Component
+}
+
+// New returns a provider server with the full protocol installed.
+func New(name string) *Provider {
+	p := &Provider{
+		Server:     rmi.NewServer(name),
+		components: make(map[string]*Component),
+	}
+	p.Server.Handle(iplib.MethodCatalogue, p.handleCatalogue)
+	p.Server.Handle(iplib.MethodBind, p.handleBind)
+	p.Server.Handle(iplib.MethodEval, p.handleEval)
+	p.Server.Handle(iplib.MethodPowerBatch, p.handlePowerBatch)
+	p.Server.Handle(iplib.MethodStatic, p.handleStatic)
+	p.Server.Handle(iplib.MethodFaultList, p.handleFaultList)
+	p.Server.Handle(iplib.MethodFaultTable, p.handleFaultTable)
+	p.Server.Handle(iplib.MethodFees, p.handleFees)
+	p.Server.Handle(iplib.MethodNegotiate, p.handleNegotiate)
+	p.Server.Handle(iplib.MethodTestSet, p.handleTestSet)
+	p.Server.Handle(iplib.MethodTimingBatch, p.handleTimingBatch)
+	return p
+}
+
+// handleTestSet generates and sells a compacted component test sequence.
+func (p *Provider) handleTestSet(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.TestSetReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	if !inst.comp.Spec.Testability {
+		return nil, fmt.Errorf("provider: %s offers no test sets", inst.comp.Spec.Name)
+	}
+	max := req.MaxCandidates
+	if max <= 0 || max > 100_000 {
+		max = 2000
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ts, err := fault.GenerateTests(inst.nl, max, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fee := inst.comp.TestSetFeeCents
+	sess.Charge(fee)
+	return iplib.TestSetResp{Patterns: ts.Patterns, Coverage: ts.Coverage, FeeCents: fee}, nil
+}
+
+// handleNegotiate answers a negotiation round: for each constraint, the
+// most accurate offered estimator that satisfies the client's bounds.
+func (p *Provider) handleNegotiate(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.NegotiateReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	comp, ok := p.components[req.Component]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("provider: unknown component %q", req.Component)
+	}
+	resp := iplib.NegotiateResp{
+		Offers:     make([]iplib.EstimatorOffer, len(req.Constraints)),
+		Rejections: make([]string, len(req.Constraints)),
+	}
+	for i, c := range req.Constraints {
+		var best *iplib.EstimatorOffer
+		for j := range comp.Spec.Estimators {
+			o := &comp.Spec.Estimators[j]
+			if o.Param != c.Param {
+				continue
+			}
+			if c.MaxErrPct > 0 && o.ErrPct > c.MaxErrPct {
+				continue
+			}
+			if c.MaxCostCents < 0 && o.CostCents > 0 {
+				continue
+			}
+			if c.MaxCostCents > 0 && o.CostCents > c.MaxCostCents {
+				continue
+			}
+			if c.ForbidRemote && o.Remote {
+				continue
+			}
+			if best == nil || o.ErrPct < best.ErrPct {
+				best = o
+			}
+		}
+		if best == nil {
+			resp.Rejections[i] = fmt.Sprintf("no %s model within err<=%.1f%% cost<=%.2f remote-ok=%v",
+				c.Param, c.MaxErrPct, c.MaxCostCents, !c.ForbidRemote)
+			continue
+		}
+		resp.Offers[i] = *best
+	}
+	return resp, nil
+}
+
+// Register adds a component to the catalogue.
+func (p *Provider) Register(c *Component) error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.components[c.Spec.Name]; dup {
+		return fmt.Errorf("provider: duplicate component %q", c.Spec.Name)
+	}
+	p.components[c.Spec.Name] = c
+	return nil
+}
+
+// Authorize grants a client access (delegates to the RPC server).
+func (p *Provider) Authorize(client string, key security.Key) { p.Server.Authorize(client, key) }
+
+// Listen starts serving on a TCP address.
+func (p *Provider) Listen(addr string) (string, error) { return p.Server.Listen(addr) }
+
+// Close stops the server.
+func (p *Provider) Close() error { return p.Server.Close() }
+
+func (p *Provider) handleCatalogue(sess *rmi.Session, payload []byte) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	resp := iplib.CatalogueResp{}
+	for _, c := range p.components {
+		resp.Specs = append(resp.Specs, c.Spec)
+	}
+	return resp, nil
+}
+
+// instKey names an instance in the session store.
+func instKey(id uint64) string { return fmt.Sprintf("inst:%d", id) }
+
+func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.BindReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	comp, ok := p.components[req.Component]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("provider: unknown component %q", req.Component)
+	}
+	if req.Width < comp.Spec.MinWidth || req.Width > comp.Spec.MaxWidth {
+		return nil, fmt.Errorf("provider: %s: width %d outside [%d, %d]",
+			req.Component, req.Width, comp.Spec.MinWidth, comp.Spec.MaxWidth)
+	}
+	nl, err := comp.Build(req.Width)
+	if err != nil {
+		return nil, err
+	}
+	lib := p.Library
+	if lib == nil {
+		lib = ppp.DefaultLibrary()
+	}
+	ev, err := nl.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	power, err := ppp.NewSimulator(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+	timing, err := ppp.NewTimingSimulator(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{comp: comp, width: req.Width, nl: nl, ev: ev, power: power, timing: timing, lib: lib}
+	if comp.Spec.Testability {
+		test, err := fault.NewLocalTestability(nl, p.FaultNaming, true)
+		if err != nil {
+			return nil, err
+		}
+		inst.test = test
+	}
+	// Negotiate the enabled models.
+	enabled := comp.Spec.Estimators
+	if len(req.Models) > 0 {
+		enabled = nil
+		for _, m := range req.Models {
+			offer, ok := comp.Spec.Offer(m)
+			if !ok {
+				return nil, fmt.Errorf("provider: %s offers no model %q", req.Component, m)
+			}
+			enabled = append(enabled, offer)
+		}
+	}
+	id := nextInstanceID(sess)
+	sess.Put(instKey(id), inst)
+	sess.Charge(comp.Spec.LicenseCents)
+	return iplib.BindResp{Instance: id, LicenseCents: comp.Spec.LicenseCents, Enabled: enabled}, nil
+}
+
+// nextInstanceID allocates a session-unique instance handle.
+func nextInstanceID(sess *rmi.Session) uint64 {
+	v, _ := sess.Get("nextInstance")
+	id, _ := v.(uint64)
+	id++
+	sess.Put("nextInstance", id)
+	return id
+}
+
+// getInstance resolves an instance handle.
+func getInstance(sess *rmi.Session, id uint64) (*instance, error) {
+	v, ok := sess.Get(instKey(id))
+	if !ok {
+		return nil, fmt.Errorf("provider: no instance %d in session", id)
+	}
+	return v.(*instance), nil
+}
+
+func (p *Provider) handleEval(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.EvalReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	out, err := inst.ev.Eval(req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	sess.Charge(inst.comp.EvalFeeCents)
+	return iplib.EvalResp{Outputs: append([]signal.Bit(nil), out...)}, nil
+}
+
+func (p *Provider) handlePowerBatch(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.PowerBatchReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	fee := inst.comp.PowerFeeCents * float64(len(req.Patterns))
+	sess.Charge(fee)
+	if req.SkipCompute {
+		// Figure 3 methodology: acknowledge the buffer without invoking
+		// the power simulator, isolating RMI overhead.
+		return iplib.PowerBatchResp{FeeCents: fee}, nil
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	out := make([]float64, 0, len(req.Patterns))
+	for _, pat := range req.Patterns {
+		energy, err := inst.power.Step(pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, energy/inst.lib.CycleTime)
+	}
+	return iplib.PowerBatchResp{PowerPerPattern: out, FeeCents: fee}, nil
+}
+
+func (p *Provider) handleTimingBatch(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.TimingBatchReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	fee := inst.comp.TimingFeeCents * float64(len(req.Patterns))
+	sess.Charge(fee)
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	out := make([]float64, 0, len(req.Patterns))
+	for _, pat := range req.Patterns {
+		d, err := inst.timing.Step(pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return iplib.TimingBatchResp{DelayPerPattern: out, FeeCents: fee}, nil
+}
+
+func (p *Provider) handleStatic(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.StaticReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	switch estim.Parameter(req.Param) {
+	case estim.ParamArea:
+		return iplib.StaticResp{Value: ppp.AreaOf(inst.nl, inst.lib)}, nil
+	case estim.ParamDelay:
+		d, err := ppp.CriticalPath(inst.nl, inst.lib)
+		if err != nil {
+			return nil, err
+		}
+		return iplib.StaticResp{Value: d}, nil
+	}
+	return nil, fmt.Errorf("provider: unknown static parameter %q", req.Param)
+}
+
+func (p *Provider) handleFaultList(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.FaultListReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	if inst.test == nil {
+		return nil, fmt.Errorf("provider: %s offers no testability service", inst.comp.Spec.Name)
+	}
+	names, err := inst.test.FaultList()
+	if err != nil {
+		return nil, err
+	}
+	return iplib.FaultListResp{Names: names}, nil
+}
+
+func (p *Provider) handleFaultTable(sess *rmi.Session, payload []byte) (any, error) {
+	var req iplib.FaultTableReq
+	if err := rmi.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	inst, err := getInstance(sess, req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	if inst.test == nil {
+		return nil, fmt.Errorf("provider: %s offers no testability service", inst.comp.Spec.Name)
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	dt, err := inst.test.DetectionTable(req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	sess.Charge(inst.comp.TableFeeCents)
+	return iplib.FaultTableResp{Table: *dt}, nil
+}
+
+func (p *Provider) handleFees(sess *rmi.Session, payload []byte) (any, error) {
+	return iplib.FeesResp{TotalCents: sess.Fees()}, nil
+}

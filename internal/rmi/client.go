@@ -1,0 +1,251 @@
+package rmi
+
+import (
+	"crypto/rand"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/security"
+)
+
+// countingConn wraps a net.Conn and tracks bytes in each direction, so
+// the client can compute per-call transfer sizes for the network
+// emulator.
+type countingConn struct {
+	net.Conn
+	read, written int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// Client is a gocad user-side RPC endpoint: the stub layer of a remote
+// component. A client owns one authenticated session with one provider
+// server. Calls are serialized (one outstanding request per connection,
+// as in classic RMI); nonblocking use runs Go on worker goroutines.
+type Client struct {
+	// Name is the client (IP user) identity presented to the provider.
+	Name string
+	// Profile is the emulated network environment; zero (InProcess)
+	// means no injected delay.
+	Profile netsim.Profile
+	// Meter, when non-nil, accumulates blocked-time accounting.
+	Meter *netsim.Meter
+	// Policy vets outbound payloads; nil uses security.DefaultPolicy.
+	Policy *security.MarshalPolicy
+	// Timeout bounds each call's transport wait (write + response read).
+	// Zero means no deadline. A timed-out connection is left in an
+	// undefined protocol state and is closed.
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	conn    *countingConn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	session string
+	nextID  uint64
+	jitter  *mrand.Rand
+	closed  bool
+}
+
+// Dial connects to a provider server over TCP and authenticates with the
+// shared key.
+func Dial(addr, clientName string, key security.Key) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, clientName, key)
+}
+
+// NewClient runs the handshake over an existing connection (net.Pipe for
+// in-process loopback deployments, or any emulated transport).
+func NewClient(conn net.Conn, clientName string, key security.Key) (*Client, error) {
+	cc := &countingConn{Conn: conn}
+	c := &Client{
+		Name:   clientName,
+		conn:   cc,
+		enc:    gob.NewEncoder(cc),
+		dec:    gob.NewDecoder(cc),
+		jitter: mrand.New(mrand.NewPCG(0x90cad, 0x1999)),
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	msg := append(append([]byte(nil), nonce...), clientName...)
+	hello := frame{Kind: kindHello, Client: clientName, Nonce: nonce, Tag: key.Tag(msg)}
+	if err := c.enc.Encode(&hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rmi: handshake send: %w", err)
+	}
+	var welcome frame
+	if err := c.dec.Decode(&welcome); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rmi: handshake receive: %w", err)
+	}
+	if welcome.Err != "" {
+		conn.Close()
+		return nil, errors.New(welcome.Err)
+	}
+	c.session = welcome.Session
+	return c, nil
+}
+
+// Session returns the authenticated session identifier.
+func (c *Client) Session() string { return c.session }
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeLocked()
+}
+
+// closeLocked marks the client dead and closes the transport; the caller
+// holds c.mu. A failed or timed-out call leaves the gob stream in an
+// undefined state, so the connection cannot be reused.
+func (c *Client) closeLocked() error {
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Call invokes a remote method synchronously: args is the request
+// envelope (it must implement PortData for the marshalling policy),
+// reply is a pointer to the response envelope. The emulated network
+// delay for the call's actual byte volume is injected, and the total
+// time blocked is metered.
+func (c *Client) Call(method string, args PortData, reply any) error {
+	return c.call(method, args, reply, true)
+}
+
+// call implements Call; meterBlocked distinguishes synchronous calls
+// (whose wait stalls the caller and counts as blocked time) from
+// nonblocking worker-goroutine calls (whose wait overlaps useful work —
+// only the byte/call counters apply; any end-of-run drain is metered by
+// the caller).
+func (c *Client) call(method string, args PortData, reply any, meterBlocked bool) error {
+	policy := c.Policy
+	if policy == nil {
+		policy = &security.DefaultPolicy
+	}
+	for _, v := range args.PortData() {
+		if err := policy.CheckOutbound(v); err != nil {
+			return err
+		}
+	}
+	payload, err := Encode(args)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("rmi: client closed")
+	}
+	c.nextID++
+	req := frame{Kind: kindRequest, ID: c.nextID, Session: c.session, Method: method, Payload: payload}
+	w0, r0 := c.conn.written, c.conn.read
+	if c.Timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		c.closeLocked()
+		c.mu.Unlock()
+		return fmt.Errorf("rmi: send %s: %w", method, err)
+	}
+	var resp frame
+	if err := c.dec.Decode(&resp); err != nil {
+		c.closeLocked()
+		c.mu.Unlock()
+		return fmt.Errorf("rmi: receive %s: %w", method, err)
+	}
+	if c.Timeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	sent := int(c.conn.written - w0)
+	recvd := int(c.conn.read - r0)
+	var jr *mrand.Rand
+	if c.Profile.Jitter > 0 {
+		jr = c.jitter
+	}
+	// Inject the emulated transfer time for this call's byte volume
+	// while still holding the connection: on a real serialized RMI link
+	// the response only arrives after the round trip, so queued calls
+	// must wait behind it rather than pipeline through the emulation.
+	delay := emulatedRoundTrip(c.Profile, sent, recvd, jr)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	c.mu.Unlock()
+	if c.Meter != nil {
+		if meterBlocked {
+			c.Meter.AddBlocked(time.Since(start))
+		}
+		c.Meter.AddCall(sent + recvd)
+	}
+
+	if resp.ID != req.ID {
+		return fmt.Errorf("rmi: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return &RemoteError{Method: method, Msg: resp.Err}
+	}
+	if reply == nil {
+		return nil
+	}
+	return Decode(resp.Payload, reply)
+}
+
+// Pending is an in-flight asynchronous call.
+type Pending struct {
+	// Done is closed when the call completes.
+	Done chan struct{}
+	err  error
+}
+
+// Err returns the call's outcome; it must be read after Done closes.
+func (p *Pending) Err() error { return p.err }
+
+// Go invokes a remote method asynchronously — the nonblocking estimation
+// of the paper ("gate-level simulation runs are nonblocking; they use a
+// new thread"). The reply must not be touched until Done closes.
+func (c *Client) Go(method string, args PortData, reply any) *Pending {
+	p := &Pending{Done: make(chan struct{})}
+	go func() {
+		defer close(p.Done)
+		p.err = c.call(method, args, reply, false)
+	}()
+	return p
+}
+
+// emulatedRoundTrip computes the injected delay; split out for testing.
+func emulatedRoundTrip(profile netsim.Profile, sent, recvd int, jr *mrand.Rand) time.Duration {
+	if profile.OneWay == 0 && profile.PerKB == 0 && profile.Jitter == 0 {
+		return 0
+	}
+	d := profile.Delay(sent, nil) + profile.Delay(recvd, nil)
+	if profile.Jitter > 0 && jr != nil {
+		d += time.Duration(jr.Int64N(int64(profile.Jitter)))
+		d += time.Duration(jr.Int64N(int64(profile.Jitter)))
+	}
+	return d
+}

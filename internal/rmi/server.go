@@ -1,0 +1,293 @@
+package rmi
+
+import (
+	"crypto/rand"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/security"
+)
+
+// Handler serves one remote method: it decodes its arguments from the
+// payload and returns a response envelope (which must implement PortData
+// so the provider-side marshalling policy can vet it).
+type Handler func(sess *Session, payload []byte) (any, error)
+
+// Session is the server-side state of one authenticated client
+// connection: the component instances the client has bound, accumulated
+// fees, and arbitrary per-session values.
+type Session struct {
+	ID     string
+	Client string
+
+	mu     sync.Mutex
+	values map[string]any
+	fees   float64
+}
+
+// Put stores a per-session value.
+func (s *Session) Put(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.values == nil {
+		s.values = make(map[string]any)
+	}
+	s.values[key] = v
+}
+
+// Get retrieves a per-session value.
+func (s *Session) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.values[key]
+	return v, ok
+}
+
+// Charge adds cents to the session's bill.
+func (s *Session) Charge(cents float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fees += cents
+}
+
+// Fees returns the accumulated bill in cents.
+func (s *Session) Fees() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fees
+}
+
+// Server is a gocad provider-side RPC endpoint.
+type Server struct {
+	Name string
+	// Policy vets outbound responses; nil uses security.DefaultPolicy.
+	Policy *security.MarshalPolicy
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	methods  map[string]Handler
+	keys     map[string]security.Key
+	sessions map[string]*Session
+	nextSess uint64
+	closed   bool
+	ln       net.Listener
+}
+
+// NewServer returns an empty server.
+func NewServer(name string) *Server {
+	return &Server{
+		Name:     name,
+		methods:  make(map[string]Handler),
+		keys:     make(map[string]security.Key),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Handle registers a method handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.methods[method]; dup {
+		panic(fmt.Sprintf("rmi: duplicate method %q", method))
+	}
+	s.methods[method] = h
+}
+
+// Authorize registers a client's shared key. Only authorized clients can
+// open sessions.
+func (s *Server) Authorize(client string, key security.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[client] = key
+}
+
+// Sessions returns a snapshot of the open sessions.
+func (s *Server) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// Serve accepts connections until the listener closes. It is typically
+// run on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Listen starts the server on a TCP address and returns the bound
+// address; Serve runs on a background goroutine.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil && s.Logf != nil {
+			s.Logf("rmi server %s: %v", s.Name, err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// logf logs through Logf; the default is silence.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ServeConn runs the protocol on one connection (used directly by tests
+// and in-process deployments via net.Pipe).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	// Handshake.
+	var hello frame
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	sess, err := s.handshake(&hello)
+	welcome := frame{Kind: kindWelcome}
+	if err != nil {
+		welcome.Err = err.Error()
+		_ = enc.Encode(&welcome)
+		return
+	}
+	welcome.Session = sess.ID
+	if err := enc.Encode(&welcome); err != nil {
+		return
+	}
+
+	for {
+		var req frame
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("rmi server %s: %v", s.Name, err)
+			}
+			return
+		}
+		resp := s.dispatch(sess, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handshake authenticates the hello frame and opens a session.
+func (s *Server) handshake(hello *frame) (*Session, error) {
+	if hello.Kind != kindHello {
+		return nil, errors.New("rmi: protocol error: expected hello")
+	}
+	s.mu.Lock()
+	key, ok := s.keys[hello.Client]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rmi: unknown client %q", hello.Client)
+	}
+	msg := append(append([]byte(nil), hello.Nonce...), hello.Client...)
+	if !key.Verify(msg, hello.Tag) {
+		return nil, fmt.Errorf("rmi: authentication failed for %q", hello.Client)
+	}
+	idBytes := make([]byte, 8)
+	if _, err := rand.Read(idBytes); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &Session{
+		ID:     fmt.Sprintf("%s-%d-%s", s.Name, s.nextSess, hex.EncodeToString(idBytes)),
+		Client: hello.Client,
+	}
+	s.sessions[sess.ID] = sess
+	return sess, nil
+}
+
+// dispatch runs one request through its handler, vetting the response
+// against the provider's marshalling policy.
+func (s *Server) dispatch(sess *Session, req *frame) *frame {
+	resp := &frame{Kind: kindResponse, ID: req.ID}
+	if req.Kind != kindRequest || req.Session != sess.ID {
+		resp.Err = "rmi: protocol error"
+		return resp
+	}
+	s.mu.Lock()
+	h, ok := s.methods[req.Method]
+	s.mu.Unlock()
+	if !ok {
+		resp.Err = fmt.Sprintf("rmi: unknown method %q", req.Method)
+		return resp
+	}
+	reply, err := func() (reply any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("rmi: handler %s panicked: %v", req.Method, r)
+			}
+		}()
+		return h(sess, req.Payload)
+	}()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	policy := s.Policy
+	if policy == nil {
+		policy = &security.DefaultPolicy
+	}
+	pd, ok := reply.(PortData)
+	if !ok {
+		resp.Err = fmt.Sprintf("rmi: response %T does not declare its port data", reply)
+		return resp
+	}
+	for _, v := range pd.PortData() {
+		if err := policy.CheckOutbound(v); err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+	}
+	payload, err := Encode(reply)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Payload = payload
+	return resp
+}

@@ -1,0 +1,73 @@
+// Package rmi is gocad's stand-in for Java RMI: a compact remote-method
+// protocol over TCP (or any net.Conn) with gob-serialized arguments,
+// HMAC-authenticated sessions, client-side stubs, an enforced
+// marshalling policy (only port-value data crosses the IP boundary), and
+// hooks for network emulation and blocked-time metering. It retains the
+// properties the paper relies on: remote method invocation with proper
+// argument/return serialization, a secure channel between IP user and IP
+// provider, and per-call overhead that pattern buffering must amortize.
+package rmi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// frame kinds.
+const (
+	kindHello uint8 = iota + 1
+	kindWelcome
+	kindRequest
+	kindResponse
+)
+
+// frame is the single wire envelope; unused fields stay zero.
+type frame struct {
+	Kind    uint8
+	ID      uint64
+	Session string
+	Method  string
+	Payload []byte
+	Err     string
+	Client  string
+	Nonce   []byte
+	Tag     string
+}
+
+// Encode gob-serializes a payload value for transport.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rmi: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-deserializes a payload into v (a pointer).
+func Decode(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("rmi: decode into %T: %w", v, err)
+	}
+	return nil
+}
+
+// PortData is implemented by every request and response envelope to
+// expose its design-derived content to the marshalling policy. An
+// envelope that cannot enumerate its port-value data cannot cross the
+// boundary at all — this is what makes the policy a default-deny check
+// rather than a blocklist.
+type PortData interface {
+	PortData() []any
+}
+
+// RemoteError is returned by Call when the remote method failed.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rmi: remote %s: %s", e.Method, e.Msg)
+}

@@ -1,0 +1,56 @@
+package signal
+
+import "fmt"
+
+// Value is the interface satisfied by every payload a signal token can
+// carry across a connector. The two built-in implementations are BitValue
+// (gate-level connectors) and WordValue (word-level connectors); custom
+// connectors for abstract representations — the paper's example is video
+// frames handled by a DSP — implement Value for their own payload types.
+type Value interface {
+	fmt.Stringer
+	// ValueWidth returns the bit width of the payload, or 0 when width
+	// is not meaningful for the representation.
+	ValueWidth() int
+	// EqualValue reports whether the payload equals another of the same
+	// dynamic type. Values of different types are never equal.
+	EqualValue(Value) bool
+	// CloneValue returns an independent deep copy.
+	CloneValue() Value
+}
+
+// BitValue adapts a single Bit to the Value interface.
+type BitValue struct{ B Bit }
+
+// ValueWidth returns 1.
+func (v BitValue) ValueWidth() int { return 1 }
+
+// EqualValue reports equality with another BitValue.
+func (v BitValue) EqualValue(o Value) bool {
+	ov, ok := o.(BitValue)
+	return ok && ov.B == v.B
+}
+
+// CloneValue returns v itself; BitValue is already immutable.
+func (v BitValue) CloneValue() Value { return v }
+
+// String returns the single-character spelling of the bit.
+func (v BitValue) String() string { return v.B.String() }
+
+// WordValue adapts a Word to the Value interface.
+type WordValue struct{ W Word }
+
+// ValueWidth returns the word width.
+func (v WordValue) ValueWidth() int { return v.W.Width() }
+
+// EqualValue reports equality with another WordValue.
+func (v WordValue) EqualValue(o Value) bool {
+	ov, ok := o.(WordValue)
+	return ok && ov.W.Equal(v.W)
+}
+
+// CloneValue deep-copies the underlying word.
+func (v WordValue) CloneValue() Value { return WordValue{W: v.W.Clone()} }
+
+// String returns the MSB-first spelling of the word.
+func (v WordValue) String() string { return v.W.String() }

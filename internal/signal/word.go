@@ -1,0 +1,163 @@
+package signal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is a fixed-width vector of four-valued bits, stored LSB-first
+// (Bits[0] is bit 0). It is the payload of word-level connectors — the
+// register-transfer-level counterpart of a single Bit on a gate-level
+// connector.
+//
+// Word values are treated as immutable once published into the simulator;
+// producers must use Clone (or the constructors) rather than mutating a
+// word that has already been sent.
+type Word struct {
+	Bits []Bit
+}
+
+// NewWord returns an all-zero word of the given width.
+func NewWord(width int) Word {
+	if width < 0 {
+		panic(fmt.Sprintf("signal: negative word width %d", width))
+	}
+	return Word{Bits: make([]Bit, width)}
+}
+
+// UnknownWord returns a word of the given width with every bit X —
+// the canonical "not yet driven" RTL value.
+func UnknownWord(width int) Word {
+	w := NewWord(width)
+	for i := range w.Bits {
+		w.Bits[i] = BX
+	}
+	return w
+}
+
+// WordFromUint64 builds a known word of the given width from the low
+// `width` bits of v. Widths above 64 zero-extend.
+func WordFromUint64(v uint64, width int) Word {
+	w := NewWord(width)
+	for i := 0; i < width && i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			w.Bits[i] = B1
+		}
+	}
+	return w
+}
+
+// ParseWord builds a word from its MSB-first string spelling, e.g. "1X0Z".
+func ParseWord(s string) (Word, error) {
+	w := NewWord(len(s))
+	for i := 0; i < len(s); i++ {
+		b, err := ParseBit(s[i])
+		if err != nil {
+			return Word{}, err
+		}
+		w.Bits[len(s)-1-i] = b
+	}
+	return w, nil
+}
+
+// Width returns the number of bits in the word.
+func (w Word) Width() int { return len(w.Bits) }
+
+// Known reports whether every bit carries a definite binary value.
+func (w Word) Known() bool {
+	for _, b := range w.Bits {
+		if !b.Known() {
+			return false
+		}
+	}
+	return true
+}
+
+// Uint64 converts a known word of width ≤ 64 to an unsigned integer.
+// ok is false if any bit is X/Z or the word is wider than 64 bits.
+func (w Word) Uint64() (v uint64, ok bool) {
+	if len(w.Bits) > 64 {
+		return 0, false
+	}
+	for i, b := range w.Bits {
+		bv, known := b.Bool()
+		if !known {
+			return 0, false
+		}
+		if bv {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+// Bit returns bit i (LSB = 0), or BX if i is out of range.
+func (w Word) Bit(i int) Bit {
+	if i < 0 || i >= len(w.Bits) {
+		return BX
+	}
+	return w.Bits[i]
+}
+
+// Clone returns an independent deep copy of the word.
+func (w Word) Clone() Word {
+	c := Word{Bits: make([]Bit, len(w.Bits))}
+	copy(c.Bits, w.Bits)
+	return c
+}
+
+// Equal reports whether both words have identical width and bit levels.
+// X compares equal only to X (this is identity of the simulation value,
+// not HDL case-equality semantics).
+func (w Word) Equal(o Word) bool {
+	if len(w.Bits) != len(o.Bits) {
+		return false
+	}
+	for i := range w.Bits {
+		if w.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the word MSB-first, e.g. a 4-bit word holding 6 is "0110".
+func (w Word) String() string {
+	var sb strings.Builder
+	sb.Grow(len(w.Bits))
+	for i := len(w.Bits) - 1; i >= 0; i-- {
+		sb.WriteString(w.Bits[i].String())
+	}
+	return sb.String()
+}
+
+// Slice returns bits [lo, hi) as a new word. It panics on an invalid range.
+func (w Word) Slice(lo, hi int) Word {
+	if lo < 0 || hi > len(w.Bits) || lo > hi {
+		panic(fmt.Sprintf("signal: invalid word slice [%d,%d) of width %d", lo, hi, len(w.Bits)))
+	}
+	c := Word{Bits: make([]Bit, hi-lo)}
+	copy(c.Bits, w.Bits[lo:hi])
+	return c
+}
+
+// Concat returns the word whose low bits are w and high bits are hi.
+func (w Word) Concat(hi Word) Word {
+	c := Word{Bits: make([]Bit, 0, len(w.Bits)+len(hi.Bits))}
+	c.Bits = append(c.Bits, w.Bits...)
+	c.Bits = append(c.Bits, hi.Bits...)
+	return c
+}
+
+// ToggleCount returns the number of bit positions where w and prev hold
+// different known values — the Hamming distance used by toggle-based
+// power estimation. Transitions to or from X/Z are not counted.
+func (w Word) ToggleCount(prev Word) int {
+	n := 0
+	for i := 0; i < len(w.Bits) && i < len(prev.Bits); i++ {
+		if w.Bits[i].Known() && prev.Bits[i].Known() && w.Bits[i] != prev.Bits[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+package signal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWordZero(t *testing.T) {
+	w := NewWord(8)
+	if w.Width() != 8 {
+		t.Fatalf("width = %d", w.Width())
+	}
+	v, ok := w.Uint64()
+	if !ok || v != 0 {
+		t.Errorf("zero word Uint64 = %d, %v", v, ok)
+	}
+}
+
+func TestNewWordNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWord(-1) did not panic")
+		}
+	}()
+	NewWord(-1)
+}
+
+func TestUnknownWord(t *testing.T) {
+	w := UnknownWord(4)
+	if w.Known() {
+		t.Error("UnknownWord reported Known")
+	}
+	if _, ok := w.Uint64(); ok {
+		t.Error("UnknownWord converted to uint64")
+	}
+	for i := 0; i < 4; i++ {
+		if w.Bit(i) != BX {
+			t.Errorf("bit %d = %v, want X", i, w.Bit(i))
+		}
+	}
+}
+
+func TestWordFromUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := WordFromUint64(v, 64)
+		got, ok := w.Uint64()
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordFromUint64Truncates(t *testing.T) {
+	w := WordFromUint64(0xFF, 4)
+	v, ok := w.Uint64()
+	if !ok || v != 0xF {
+		t.Errorf("truncated word = %d, %v; want 15", v, ok)
+	}
+}
+
+func TestWordUint64TooWide(t *testing.T) {
+	w := NewWord(65)
+	if _, ok := w.Uint64(); ok {
+		t.Error("65-bit word converted to uint64")
+	}
+}
+
+func TestParseWordAndString(t *testing.T) {
+	w, err := ParseWord("1X0Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.String(); got != "1X0Z" {
+		t.Errorf("round trip = %q", got)
+	}
+	// MSB-first: "1X0Z" → bit3=1, bit2=X, bit1=0, bit0=Z.
+	if w.Bit(3) != B1 || w.Bit(2) != BX || w.Bit(1) != B0 || w.Bit(0) != BZ {
+		t.Errorf("bit layout wrong: %v", w.Bits)
+	}
+	if _, err := ParseWord("10q"); err == nil {
+		t.Error("ParseWord accepted invalid char")
+	}
+}
+
+func TestWordStringValueAgreement(t *testing.T) {
+	w := WordFromUint64(6, 4)
+	if got := w.String(); got != "0110" {
+		t.Errorf("WordFromUint64(6,4).String() = %q, want 0110", got)
+	}
+}
+
+func TestWordBitOutOfRange(t *testing.T) {
+	w := NewWord(4)
+	if w.Bit(-1) != BX || w.Bit(4) != BX {
+		t.Error("out-of-range Bit() must return X")
+	}
+}
+
+func TestWordCloneIndependence(t *testing.T) {
+	w := WordFromUint64(5, 4)
+	c := w.Clone()
+	c.Bits[0] = BX
+	if !w.Known() {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestWordEqual(t *testing.T) {
+	a := WordFromUint64(5, 4)
+	b := WordFromUint64(5, 4)
+	c := WordFromUint64(5, 5)
+	d := WordFromUint64(4, 4)
+	if !a.Equal(b) {
+		t.Error("equal words compared unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different widths compared equal")
+	}
+	if a.Equal(d) {
+		t.Error("different values compared equal")
+	}
+}
+
+func TestWordSlice(t *testing.T) {
+	w, _ := ParseWord("1100")
+	lo := w.Slice(0, 2)
+	if lo.String() != "00" {
+		t.Errorf("low slice = %q", lo.String())
+	}
+	hi := w.Slice(2, 4)
+	if hi.String() != "11" {
+		t.Errorf("high slice = %q", hi.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid slice did not panic")
+		}
+	}()
+	w.Slice(3, 2)
+}
+
+func TestWordConcat(t *testing.T) {
+	lo, _ := ParseWord("01")
+	hi, _ := ParseWord("10")
+	c := lo.Concat(hi)
+	if c.String() != "1001" {
+		t.Errorf("concat = %q, want 1001", c.String())
+	}
+}
+
+func TestWordToggleCount(t *testing.T) {
+	a, _ := ParseWord("1010")
+	b, _ := ParseWord("0110")
+	if n := a.ToggleCount(b); n != 2 {
+		t.Errorf("toggles = %d, want 2", n)
+	}
+	x, _ := ParseWord("10X0")
+	if n := a.ToggleCount(x); n != 0 {
+		t.Errorf("toggles vs X word = %d, want 0", n)
+	}
+}
+
+func TestWordToggleCountSymmetryProperty(t *testing.T) {
+	f := func(av, bv uint64) bool {
+		a := WordFromUint64(av, 32)
+		b := WordFromUint64(bv, 32)
+		return a.ToggleCount(b) == b.ToggleCount(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSliceConcatInverseProperty(t *testing.T) {
+	f := func(v uint64, split uint8) bool {
+		w := WordFromUint64(v, 32)
+		k := int(split) % 33
+		return w.Slice(0, k).Concat(w.Slice(k, 32)).Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitValueInterface(t *testing.T) {
+	var v Value = BitValue{B: B1}
+	if v.ValueWidth() != 1 || v.String() != "1" {
+		t.Error("BitValue basics wrong")
+	}
+	if !v.EqualValue(BitValue{B: B1}) || v.EqualValue(BitValue{B: B0}) {
+		t.Error("BitValue equality wrong")
+	}
+	if v.EqualValue(WordValue{W: WordFromUint64(1, 1)}) {
+		t.Error("cross-type equality must be false")
+	}
+	if !v.CloneValue().EqualValue(v) {
+		t.Error("clone must equal original")
+	}
+}
+
+func TestWordValueInterface(t *testing.T) {
+	w := WordFromUint64(9, 4)
+	var v Value = WordValue{W: w}
+	if v.ValueWidth() != 4 || v.String() != "1001" {
+		t.Error("WordValue basics wrong")
+	}
+	c := v.CloneValue().(WordValue)
+	c.W.Bits[0] = BX
+	if !v.EqualValue(WordValue{W: WordFromUint64(9, 4)}) {
+		t.Error("mutating clone affected original")
+	}
+	if v.EqualValue(BitValue{B: B1}) {
+		t.Error("cross-type equality must be false")
+	}
+}
+
+func TestWordRandomRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		width := 1 + r.Intn(64)
+		v := r.Uint64()
+		if width < 64 {
+			v &= (1 << uint(width)) - 1
+		}
+		w := WordFromUint64(v, width)
+		got, ok := w.Uint64()
+		if !ok || got != v {
+			t.Fatalf("width %d value %d: round trip %d, %v", width, v, got, ok)
+		}
+		parsed, err := ParseWord(w.String())
+		if err != nil || !parsed.Equal(w) {
+			t.Fatalf("string round trip failed for %v", w)
+		}
+	}
+}

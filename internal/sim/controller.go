@@ -1,0 +1,110 @@
+package sim
+
+import "sync"
+
+// Stats summarizes one completed simulation run.
+type Stats struct {
+	Scheduler SchedulerID
+	EndTime   Time
+	Delivered uint64
+	MaxQueue  int
+	Err       error
+}
+
+// Controller launches and coordinates schedulers over a fixed set of
+// handlers (the design's modules). One controller can run a single
+// simulation, or many concurrent simulations of the same design — each on
+// its own scheduler and goroutine, each with its own setup — without any
+// interference, because module state is keyed by scheduler ID.
+type Controller struct {
+	handlers []Handler
+	// Seed populates a fresh scheduler with initial stimuli before the
+	// run starts (primary-input tokens, first clock edges, ...). It runs
+	// after module ResetState hooks.
+	Seed func(ctx *Context)
+	// Options bound every run started by this controller.
+	Options RunOptions
+	// EventLimit, when nonzero, overrides DefaultEventLimit per run.
+	EventLimit uint64
+}
+
+// NewController returns a controller over the given handlers.
+func NewController(handlers ...Handler) *Controller {
+	return &Controller{handlers: handlers}
+}
+
+// Handlers returns the handler set the controller resets before each run.
+func (c *Controller) Handlers() []Handler { return c.handlers }
+
+// AddHandlers appends more handlers (e.g. after elaborating a hierarchy).
+func (c *Controller) AddHandlers(hs ...Handler) { c.handlers = append(c.handlers, hs...) }
+
+// Start runs one simulation to completion on a fresh scheduler and
+// returns its statistics. setup is attached to the run's context and
+// travels with every token delivery (nil for estimation-free runs);
+// configure, if non-nil, may register instant hooks or overrides on the
+// scheduler before the run starts.
+func (c *Controller) Start(setup any, configure func(*Scheduler)) Stats {
+	sched := NewScheduler()
+	sched.EventLimit = c.EventLimit
+	if configure != nil {
+		configure(sched)
+	}
+	ctx := sched.NewContext()
+	ctx.Setup = setup
+	sched.Reset(ctx, c.handlers)
+	if c.Seed != nil {
+		c.Seed(ctx)
+	}
+	err := sched.Run(ctx, c.Options)
+	st := Stats{
+		Scheduler: sched.ID(),
+		EndTime:   sched.Now(),
+		Delivered: sched.Delivered(),
+		MaxQueue:  sched.MaxQueueLen(),
+		Err:       err,
+	}
+	c.release(sched.ID())
+	return st
+}
+
+// StartConcurrent launches n independent simulations of the same design,
+// one goroutine and one scheduler each, and waits for all of them. setups
+// supplies the per-run setup (may return nil); configure may adjust each
+// scheduler. The kernel guarantees the runs cannot interfere.
+func (c *Controller) StartConcurrent(n int, setups func(i int) any, configure func(i int, s *Scheduler)) []Stats {
+	stats := make([]Stats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var setup any
+			if setups != nil {
+				setup = setups(i)
+			}
+			var cfg func(*Scheduler)
+			if configure != nil {
+				cfg = func(s *Scheduler) { configure(i, s) }
+			}
+			stats[i] = c.Start(setup, cfg)
+		}(i)
+	}
+	wg.Wait()
+	return stats
+}
+
+// StateHolder is implemented by handlers that keep per-scheduler state
+// tables and can release a scheduler's entry after its run completes.
+type StateHolder interface {
+	ReleaseState(id SchedulerID)
+}
+
+// release frees per-scheduler state on every handler that supports it.
+func (c *Controller) release(id SchedulerID) {
+	for _, h := range c.handlers {
+		if sh, ok := h.(StateHolder); ok {
+			sh.ReleaseState(id)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestControllerStartRunsSeedAndReset(t *testing.T) {
+	r := &recorder{name: "r"}
+	c := NewController(r)
+	c.Seed = func(ctx *Context) {
+		ctx.Post(&SelfToken{T: 1, Dst: r})
+	}
+	st := c.Start(nil, nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if r.resetRan != 1 {
+		t.Errorf("ResetState ran %d times, want 1", r.resetRan)
+	}
+	if st.Delivered != 1 || r.count() != 1 {
+		t.Errorf("delivered = %d, recorder = %d; want 1, 1", st.Delivered, r.count())
+	}
+	if st.EndTime != 1 {
+		t.Errorf("end time = %d, want 1", st.EndTime)
+	}
+}
+
+func TestControllerSetupTravelsWithContext(t *testing.T) {
+	type mySetup struct{ tag string }
+	var seen any
+	r := &recorder{name: "r"}
+	r.onToken = func(ctx *Context, tok Token) { seen = ctx.Setup }
+	c := NewController(r)
+	c.Seed = func(ctx *Context) { ctx.Post(&SelfToken{T: 1, Dst: r}) }
+	c.Start(&mySetup{tag: "s1"}, nil)
+	got, ok := seen.(*mySetup)
+	if !ok || got.tag != "s1" {
+		t.Errorf("setup in context = %#v", seen)
+	}
+}
+
+// counterModule keeps per-scheduler counters in a StateTable, to verify
+// scheduler isolation under concurrency.
+type counterModule struct {
+	name  string
+	state StateTable
+	limit Time
+}
+
+type counterState struct{ n int }
+
+func (m *counterModule) HandlerName() string { return m.name }
+
+func (m *counterModule) HandleToken(ctx *Context, tok Token) {
+	st := m.state.GetOrCreate(ctx.SchedulerID(), func() any { return &counterState{} }).(*counterState)
+	st.n++
+	if ctx.Now() < m.limit {
+		ctx.Post(&SelfToken{T: ctx.Now() + 1, Dst: m})
+	}
+}
+
+func (m *counterModule) countFor(id SchedulerID) int {
+	v, ok := m.state.Get(id)
+	if !ok {
+		return -1
+	}
+	return v.(*counterState).n
+}
+
+func TestControllerConcurrentSchedulersDoNotInterfere(t *testing.T) {
+	m := &counterModule{name: "m", limit: 1000}
+	c := NewController(m)
+	c.Seed = func(ctx *Context) { ctx.Post(&SelfToken{T: 1, Dst: m}) }
+
+	const runs = 8
+	var mu sync.Mutex
+	counts := make(map[SchedulerID]uint64)
+	stats := c.StartConcurrent(runs, nil, func(i int, s *Scheduler) {
+		mu.Lock()
+		counts[s.ID()] = 0
+		mu.Unlock()
+	})
+	for _, st := range stats {
+		if st.Err != nil {
+			t.Fatal(st.Err)
+		}
+		if st.Delivered != 1000 {
+			t.Errorf("scheduler %d delivered %d tokens, want 1000", st.Scheduler, st.Delivered)
+		}
+	}
+	// State must have been released after each run.
+	if m.state.Len() != 0 {
+		t.Errorf("state table holds %d entries after release, want 0", m.state.Len())
+	}
+}
+
+func (m *counterModule) ReleaseState(id SchedulerID) { m.state.Delete(id) }
+
+func TestStateTableBasics(t *testing.T) {
+	var st StateTable
+	if _, ok := st.Get(1); ok {
+		t.Error("empty table reported a value")
+	}
+	created := 0
+	v := st.GetOrCreate(1, func() any { created++; return "a" })
+	if v != "a" || created != 1 {
+		t.Error("GetOrCreate first call wrong")
+	}
+	v = st.GetOrCreate(1, func() any { created++; return "b" })
+	if v != "a" || created != 1 {
+		t.Error("GetOrCreate must not re-create")
+	}
+	st.Set(2, "c")
+	if got, _ := st.Get(2); got != "c" {
+		t.Error("Set/Get wrong")
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+	st.Delete(1)
+	if _, ok := st.Get(1); ok {
+		t.Error("Delete did not remove entry")
+	}
+}
+
+func TestStateTableConcurrentAccess(t *testing.T) {
+	var st StateTable
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := SchedulerID(i % 4)
+			for j := 0; j < 100; j++ {
+				st.GetOrCreate(id, func() any { return new(int) })
+				st.Get(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st.Len() != 4 {
+		t.Errorf("Len = %d, want 4", st.Len())
+	}
+}
+
+func TestControllerStartConcurrentSetups(t *testing.T) {
+	// Each run gets its own setup; the module checks it sees the right one.
+	type setup struct{ idx int }
+	var mu sync.Mutex
+	seen := make(map[int]int) // setup idx -> deliveries
+	r := &recorder{name: "r"}
+	r.onToken = func(ctx *Context, tok Token) {
+		s := ctx.Setup.(*setup)
+		mu.Lock()
+		seen[s.idx]++
+		mu.Unlock()
+	}
+	c := NewController(r)
+	c.Seed = func(ctx *Context) {
+		ctx.Post(&SelfToken{T: 1, Dst: r})
+		ctx.Post(&SelfToken{T: 2, Dst: r})
+	}
+	c.StartConcurrent(4, func(i int) any { return &setup{idx: i} }, nil)
+	for i := 0; i < 4; i++ {
+		if seen[i] != 2 {
+			t.Errorf("setup %d saw %d deliveries, want 2", i, seen[i])
+		}
+	}
+}
+
+func TestSchedulerDeterminismProperty(t *testing.T) {
+	// Two runs over the same stimulus must produce identical delivery
+	// traces — determinism is what makes fault injection comparable to
+	// the golden run.
+	f := func(times []uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		trace := func() []Time {
+			s := NewScheduler()
+			r := &recorder{name: "r"}
+			for _, tm := range times {
+				s.Post(&SelfToken{T: Time(tm%16) + 1, Dst: r})
+			}
+			if err := s.Run(nil, RunOptions{}); err != nil {
+				return nil
+			}
+			return r.times
+		}
+		a, b := trace(), trace()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

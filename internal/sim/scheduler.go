@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// SchedulerID uniquely identifies a scheduler instance for the lifetime of
+// the process. Modules use it to address their per-scheduler state tables,
+// which is what lets many schedulers run over the same design without
+// interference.
+type SchedulerID uint64
+
+var schedulerIDs atomic.Uint64
+
+// ErrEventLimit is returned by a run when the configured event budget is
+// exhausted — the guard against nonterminating designs (e.g. zero-delay
+// combinational loops).
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// scheduledToken pairs a token with a sequence number so that tokens
+// posted at the same instant are delivered in posting order, keeping runs
+// deterministic.
+type scheduledToken struct {
+	tok Token
+	seq uint64
+}
+
+// tokenQueue is a binary min-heap ordered by (time, seq).
+type tokenQueue []scheduledToken
+
+func (q tokenQueue) Len() int { return len(q) }
+func (q tokenQueue) Less(i, j int) bool {
+	if q[i].tok.When() != q[j].tok.When() {
+		return q[i].tok.When() < q[j].tok.When()
+	}
+	return q[i].seq < q[j].seq
+}
+func (q tokenQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *tokenQueue) Push(x any)   { *q = append(*q, x.(scheduledToken)) }
+func (q *tokenQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = scheduledToken{}
+	*q = old[:n-1]
+	return it
+}
+
+// InstantHook is invoked by the scheduler when a simulation time instant
+// completes (all tokens at that time have been handled, and either the
+// queue is empty or the next token is strictly later). This is the point
+// where the estimation controller delivers estimation tokens to every
+// module "at the end of each simulation time instant".
+type InstantHook func(ctx *Context, completed Time)
+
+// Scheduler owns one event queue and delivers tokens in nondecreasing
+// time order. A Scheduler is confined to a single goroutine; concurrency
+// comes from running several Schedulers, never from sharing one.
+type Scheduler struct {
+	id      SchedulerID
+	queue   tokenQueue
+	seq     uint64
+	now     Time
+	started bool
+
+	// overrides replaces the event handling of specific handlers for this
+	// scheduler only. Virtual fault simulation uses this to make a faulty
+	// module emit a fixed erroneous output pattern regardless of inputs.
+	overrides map[Handler]Handler
+
+	hooks []InstantHook
+
+	// Stats
+	delivered uint64
+	maxQueue  int
+
+	// EventLimit bounds the number of delivered tokens per run;
+	// 0 means the DefaultEventLimit.
+	EventLimit uint64
+}
+
+// DefaultEventLimit is the per-run token budget used when a Scheduler's
+// EventLimit is left at zero.
+const DefaultEventLimit = 50_000_000
+
+// NewScheduler returns an empty scheduler with a fresh unique identifier.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		id:        SchedulerID(schedulerIDs.Add(1)),
+		overrides: make(map[Handler]Handler),
+	}
+}
+
+// ID returns the scheduler's process-unique identifier.
+func (s *Scheduler) ID() SchedulerID { return s.id }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Delivered returns the number of tokens delivered so far.
+func (s *Scheduler) Delivered() uint64 { return s.delivered }
+
+// MaxQueueLen returns the high-water mark of the pending-token queue.
+func (s *Scheduler) MaxQueueLen() int { return s.maxQueue }
+
+// Override replaces target's event handling with replacement for this
+// scheduler only. Passing a nil replacement removes the override. Other
+// schedulers running over the same design are unaffected — this is the
+// property that lets virtual fault simulation inject faults on a fresh
+// scheduler with no reset or save/restore of the fault-free one.
+func (s *Scheduler) Override(target, replacement Handler) {
+	if replacement == nil {
+		delete(s.overrides, target)
+		return
+	}
+	s.overrides[target] = replacement
+}
+
+// AddInstantHook registers a hook called at the completion of every
+// simulation time instant.
+func (s *Scheduler) AddInstantHook(h InstantHook) { s.hooks = append(s.hooks, h) }
+
+// Post enqueues a token. Posting a token in the past (before the
+// scheduler's current time) is a programming error and panics, because it
+// would silently corrupt causality.
+func (s *Scheduler) Post(tok Token) {
+	if tok.When() < s.now {
+		panic(fmt.Sprintf("sim: token scheduled at %d, before current time %d", tok.When(), s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, scheduledToken{tok: tok, seq: s.seq})
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+}
+
+// Pending returns the number of tokens waiting in the queue.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Context gives a handler controlled access to the scheduler that is
+// delivering a token to it. A module can schedule a new token only when
+// it receives one — i.e. only through the Context — and the new token is
+// automatically joined to the same scheduler. This is the kernel's
+// no-interference guarantee.
+type Context struct {
+	sched *Scheduler
+	// Setup is the estimation setup active for this run (an *estim.Setup),
+	// carried with every delivery so modules can retrieve the estimators
+	// selected for them at runtime. It may be nil for setup-free runs.
+	Setup any
+	// Trace, when non-nil, receives one line per delivered token.
+	Trace func(string)
+}
+
+// SchedulerID returns the identifier modules key their state tables by.
+func (c *Context) SchedulerID() SchedulerID { return c.sched.id }
+
+// Now returns the current simulation time.
+func (c *Context) Now() Time { return c.sched.now }
+
+// Post schedules a follow-up token on the same scheduler.
+func (c *Context) Post(tok Token) { c.sched.Post(tok) }
+
+// PostSignal is a convenience wrapper building and posting a SignalToken.
+func (c *Context) PostSignal(t *SignalToken) { c.sched.Post(t) }
+
+// Scheduler exposes the underlying scheduler, for controllers that need
+// override management during a run (fault injection).
+func (c *Context) Scheduler() *Scheduler { return c.sched }
+
+// deliver dispatches one token, honouring per-scheduler overrides.
+func (s *Scheduler) deliver(ctx *Context, tok Token) {
+	s.delivered++
+	dst := tok.Target()
+	if repl, ok := s.overrides[dst]; ok {
+		dst = repl
+	}
+	if ctx.Trace != nil {
+		if str, ok := tok.(fmt.Stringer); ok {
+			ctx.Trace(str.String())
+		} else {
+			ctx.Trace(fmt.Sprintf("token@%d -> %s", tok.When(), dst.HandlerName()))
+		}
+	}
+	dst.HandleToken(ctx, tok)
+}
+
+// RunOptions bounds a scheduler run.
+type RunOptions struct {
+	// Until stops the run before delivering any token strictly later than
+	// this time. Zero means no time bound.
+	Until Time
+	// MaxInstants stops the run after this many distinct time instants
+	// have completed. Zero means no instant bound. Virtual fault
+	// simulation uses MaxInstants=1 for its single-instant injection runs.
+	MaxInstants int
+}
+
+// Run delivers tokens in time order until the queue drains or a bound in
+// opts is hit. ctx must have been created by the scheduler's Context
+// method (or be nil, in which case a fresh context is used).
+func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
+	if ctx == nil {
+		ctx = s.NewContext()
+	}
+	limit := s.EventLimit
+	if limit == 0 {
+		limit = DefaultEventLimit
+	}
+	budget := limit
+	instants := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0].tok.When()
+		if opts.Until != 0 && next > opts.Until {
+			return nil
+		}
+		if next > s.now || !s.started {
+			s.started = true
+			s.now = next
+		}
+		// Drain the full instant.
+		for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
+			it := heap.Pop(&s.queue).(scheduledToken)
+			if budget == 0 {
+				return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
+			}
+			budget--
+			s.deliver(ctx, it.tok)
+		}
+		// The instant is complete only if nothing was rescheduled for it.
+		if len(s.queue) == 0 || s.queue[0].tok.When() > s.now {
+			for _, h := range s.hooks {
+				h(ctx, s.now)
+			}
+			instants++
+			if opts.MaxInstants != 0 && instants >= opts.MaxInstants {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// NewContext returns a Context bound to this scheduler.
+func (s *Scheduler) NewContext() *Context { return &Context{sched: s} }
+
+// Reset invokes ResetState on every handler that supports it, giving
+// autonomous modules the chance to seed their first self-trigger for this
+// scheduler.
+func (s *Scheduler) Reset(ctx *Context, handlers []Handler) {
+	if ctx == nil {
+		ctx = s.NewContext()
+	}
+	for _, h := range handlers {
+		if r, ok := h.(Resettable); ok {
+			r.ResetState(ctx)
+		}
+	}
+}

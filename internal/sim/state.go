@@ -1,0 +1,69 @@
+package sim
+
+import "sync"
+
+// StateTable is the per-scheduler state lookup table every module keeps
+// its mutable simulation state in — the paper's "LUTs addressed by unique
+// identifiers associated with the schedulers". Because each scheduler runs
+// on its own goroutine but many schedulers may touch the same module, the
+// table itself is synchronized, while each entry is owned exclusively by
+// its scheduler's goroutine and needs no further locking.
+type StateTable struct {
+	mu sync.RWMutex
+	m  map[SchedulerID]any
+}
+
+// Get returns the state stored for the given scheduler, if any.
+func (st *StateTable) Get(id SchedulerID) (any, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.m[id]
+	return v, ok
+}
+
+// GetOrCreate returns the state for the scheduler, calling create to build
+// it on first use. create runs at most once per scheduler ID.
+func (st *StateTable) GetOrCreate(id SchedulerID, create func() any) any {
+	st.mu.RLock()
+	v, ok := st.m[id]
+	st.mu.RUnlock()
+	if ok {
+		return v
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if v, ok := st.m[id]; ok {
+		return v
+	}
+	if st.m == nil {
+		st.m = make(map[SchedulerID]any)
+	}
+	v = create()
+	st.m[id] = v
+	return v
+}
+
+// Set stores state for the scheduler, replacing any previous entry.
+func (st *StateTable) Set(id SchedulerID, v any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.m == nil {
+		st.m = make(map[SchedulerID]any)
+	}
+	st.m[id] = v
+}
+
+// Delete discards the state for the scheduler, releasing its memory after
+// a simulation run completes.
+func (st *StateTable) Delete(id SchedulerID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.m, id)
+}
+
+// Len returns the number of schedulers currently holding state.
+func (st *StateTable) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/module"
+	"repro/internal/signal"
+)
+
+func TestVCDBasicStructure(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb, "1ns", "top")
+	clk, err := v.AddSignal("clk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := v.AddSignal("data bus", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Emit(0, clk, signal.BitValue{B: signal.B0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Emit(5, clk, signal.BitValue{B: signal.B1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Emit(5, bus, signal.WordValue{W: signal.WordFromUint64(9, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 4 # data_bus $end", // spaces sanitized
+		"$enddefinitions $end",
+		"#0", "#5",
+		"b1001 #",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// #5 must appear exactly once even though two changes happened there.
+	if strings.Count(out, "#5\n") != 1 {
+		t.Errorf("time #5 duplicated:\n%s", out)
+	}
+}
+
+func TestVCDRejectsMisuse(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb, "", "")
+	if _, err := v.AddSignal("w", 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	id, _ := v.AddSignal("a", 1)
+	if err := v.Emit(10, id, signal.BitValue{B: signal.B1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AddSignal("late", 1); err == nil {
+		t.Error("AddSignal after Emit accepted")
+	}
+	if err := v.Emit(5, id, signal.BitValue{B: signal.B0}); err == nil {
+		t.Error("time regression accepted")
+	}
+	if err := v.Emit(11, SignalID(99), signal.BitValue{B: signal.B0}); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}
+
+func TestVCDXAndZValues(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb, "1ns", "s")
+	id, _ := v.AddSignal("n", 1)
+	v.Emit(1, id, signal.BitValue{B: signal.BX})
+	v.Emit(2, id, signal.BitValue{B: signal.BZ})
+	v.Close()
+	out := sb.String()
+	if !strings.Contains(out, "x!") || !strings.Contains(out, "z!") {
+		t.Errorf("X/Z spelling wrong:\n%s", out)
+	}
+}
+
+func TestDumpOutputsFromSimulation(t *testing.T) {
+	c1 := module.NewWordConnector("c1", 4)
+	in := module.NewPatternInput("in", 4, []signal.Value{
+		signal.WordValue{W: signal.WordFromUint64(3, 4)},
+		signal.WordValue{W: signal.WordFromUint64(12, 4)},
+	}, 10, c1)
+	out := module.NewPrimaryOutput("OUT", 4, c1)
+	s := module.NewSimulation(module.NewCircuit("t", in, out))
+	st := s.Start(nil)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	var sb strings.Builder
+	if err := DumpOutputs(&sb, "1ns", st.Scheduler, []*module.PrimaryOutput{out}); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+	for _, want := range []string{"$var wire 4 ! OUT $end", "#10", "#20", "b0011 !", "b1100 !"} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("dump missing %q:\n%s", want, vcd)
+		}
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate code %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+}

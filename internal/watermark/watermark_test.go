@@ -1,0 +1,200 @@
+package watermark
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/ppp"
+	"repro/internal/signal"
+)
+
+func testKey() []byte { return []byte("provider-signing-key-0123456789a") }
+
+func TestCapacityPositive(t *testing.T) {
+	nl := gate.ArrayMultiplier(8)
+	if Capacity(nl) < 64 {
+		t.Errorf("capacity = %d, expected many AND/OR slots", Capacity(nl))
+	}
+}
+
+func TestEmbedExtractRoundTrip(t *testing.T) {
+	nl := gate.ArrayMultiplier(8)
+	sig := SignatureFromString("ACME-IP(c)1999")
+	wm, err := Embed(nl, testKey(), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(wm, testKey(), sig) {
+		t.Fatal("signature does not verify")
+	}
+	got, err := Extract(wm, testKey(), len(sig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sig {
+		if got[i] != sig[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestWatermarkPreservesFunction(t *testing.T) {
+	nl := gate.ArrayMultiplier(6)
+	sig := SignatureFromString("WM")
+	wm, err := Embed(nl, testKey(), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		v := uint64(r.Intn(1 << 12))
+		a, err := nl.Eval(nl.InputWord(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wm.Eval(wm.InputWord(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("function changed at input %d output %d", v, j)
+			}
+		}
+	}
+}
+
+func TestWrongKeyDoesNotVerify(t *testing.T) {
+	nl := gate.ArrayMultiplier(8)
+	sig := SignatureFromString("owner")
+	wm, err := Embed(nl, testKey(), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := []byte("a-completely-different-key-00000")
+	if Verify(wm, other, sig) {
+		t.Error("signature verified under the wrong key")
+	}
+}
+
+func TestUnwatermarkedDoesNotVerify(t *testing.T) {
+	nl := gate.ArrayMultiplier(8)
+	sig := SignatureFromString("owner")
+	if Verify(nl, testKey(), sig) {
+		t.Error("virgin netlist verified a signature")
+	}
+}
+
+func TestCapacityExceededRejected(t *testing.T) {
+	nl := gate.RippleAdder(2)
+	big := make([]bool, Capacity(nl)+1)
+	if _, err := Embed(nl, testKey(), big); err == nil {
+		t.Error("oversized signature accepted")
+	}
+	if _, err := Extract(nl, testKey(), Capacity(nl)+1); err == nil {
+		t.Error("oversized extraction accepted")
+	}
+}
+
+func TestDemotionOfNaturallyMarkedSlots(t *testing.T) {
+	// A circuit already containing a complemented pair: embedding a
+	// 0-bit on that slot must demote it so extraction is faithful.
+	nl := gate.NewNetlist("nat")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	mid := nl.AddGate(gate.Nand, "mid", a, b)
+	o := nl.AddGate(gate.Not, "o", mid)
+	nl.MarkOutput(o)
+	if Capacity(nl) != 1 {
+		t.Fatalf("capacity = %d, want 1", Capacity(nl))
+	}
+	wm, err := Embed(nl, testKey(), []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(wm, testKey(), []bool{false}) {
+		t.Error("demoted slot reads back as 1")
+	}
+	// Function must still be AND.
+	res, err := wm.Eval(wm.InputWord(0b11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].String() != "1" {
+		t.Errorf("demoted AND(1,1) = %v", res[0])
+	}
+}
+
+// TestWatermarkLimitation demonstrates the paper's critique: the
+// watermarked netlist remains fully analyzable — structure, power, and
+// faults are all exposed to whoever holds the netlist, signature or not.
+func TestWatermarkLimitation(t *testing.T) {
+	nl := gate.ArrayMultiplier(6)
+	wm, err := Embed(nl, testKey(), SignatureFromString("X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full structural access:
+	if wm.NumGates() == 0 || len(wm.Gates()) == 0 {
+		t.Fatal("gates hidden?")
+	}
+	// Accurate power analysis works for anyone:
+	sim, err := ppp.NewSimulator(wm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run([][]signal.Bit{wm.InputWord(0), wm.InputWord(0xFFF)}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Report().TotalEnergy <= 0 {
+		t.Error("power analysis yielded nothing")
+	}
+	// Fault analysis works for anyone:
+	if len(fault.Collapse(wm)) == 0 {
+		t.Fatal("fault universe hidden?")
+	}
+}
+
+func TestWatermarkRoundTripProperty(t *testing.T) {
+	// Any signature that fits must round-trip, and the watermarked
+	// netlist must stay functionally identical, for random signatures
+	// over a fixed circuit.
+	nl := gate.ArrayMultiplier(4)
+	cap := Capacity(nl)
+	f := func(seed int64, nBitsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nBitsRaw)%cap + 1
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = r.Intn(2) == 1
+		}
+		wm, err := Embed(nl, testKey(), bits)
+		if err != nil {
+			return false
+		}
+		if !Verify(wm, testKey(), bits) {
+			return false
+		}
+		// Sampled functional check.
+		for k := 0; k < 8; k++ {
+			v := uint64(r.Intn(256))
+			a, err1 := nl.Eval(nl.InputWord(v))
+			b, err2 := wm.Eval(wm.InputWord(v))
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
