@@ -1,0 +1,30 @@
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: all build test race fuzz vet ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 CI gate: the full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short deterministic fuzz smoke over the RMI wire codec. Each target
+# must run in its own invocation (go test allows one -fuzz at a time).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+
+ci: build vet test race fuzz
+
+clean:
+	$(GO) clean ./...

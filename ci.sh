@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI driver: the tier-1 gate (build + tests), the race pass, and a short
+# fuzz smoke of the RMI wire codec. Usage: ./ci.sh [fuzztime]
+set -eu
+
+FUZZTIME="${1:-15s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz='^FuzzFrameRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+
+echo "==> CI green"

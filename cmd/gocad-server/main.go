@@ -26,10 +26,12 @@ func main() {
 		client  = flag.String("client", "designer", "authorized client name")
 		keyfile = flag.String("keyfile", "gocad-key.hex", "file receiving the hex session key")
 		name    = flag.String("name", "provider1", "provider display name")
+		idle    = flag.Duration("idle-timeout", 0, "drop sessions idle longer than this (0 disables)")
 	)
 	flag.Parse()
 
 	p := provider.New(*name)
+	p.Server.IdleTimeout = *idle
 	if err := p.Register(provider.MultFastLowPower()); err != nil {
 		fatal(err)
 	}

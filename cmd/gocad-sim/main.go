@@ -6,10 +6,18 @@
 //
 //	gocad-server -keyfile key.hex &
 //	gocad-sim -addr 127.0.0.1:7999 -keyfile key.hex -patterns 100
+//
+// With -local the same design runs against an in-process provider over a
+// pipe (no server needed) — the reference a distributed run is compared
+// against. The resilience flags (-timeout, -retries, -recover) arm the
+// transport against connection loss: calls are retried with backoff, the
+// session is re-established and replayed after a reconnect, and if the
+// provider stays dead the run completes with degraded estimates.
 package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +29,7 @@ import (
 	"repro/internal/iplib"
 	"repro/internal/module"
 	"repro/internal/netsim"
+	"repro/internal/provider"
 	"repro/internal/rmi"
 	"repro/internal/security"
 )
@@ -35,26 +44,58 @@ func main() {
 		buffer   = flag.Int("buffer", 5, "pattern buffer size")
 		profile  = flag.String("net", "none", "emulated network on top of the real link (none|local|LAN|WAN)")
 		remote   = flag.Bool("mr", false, "run the multiplier fully remote (MR) instead of ER")
+		local    = flag.Bool("local", false, "use an in-process provider instead of a server (reference run)")
+		blocking = flag.Bool("blocking", false, "block on each estimation batch (deterministic sample order)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-call deadline (0 disables)")
+		retries  = flag.Int("retries", 4, "max attempts per idempotent call (1 disables retry)")
+		recover_ = flag.Bool("recover", true, "replay the session after an automatic reconnect")
 	)
 	flag.Parse()
 
-	raw, err := os.ReadFile(*keyfile)
-	if err != nil {
-		fatal(err)
+	retry := rmi.DefaultRetry
+	retry.MaxAttempts = *retries
+	netProfile := netsim.ProfileByName(*profile)
+
+	var (
+		ip    *iplib.IPClient
+		meter *netsim.Meter
+	)
+	if *local {
+		p := provider.New("provider1")
+		if err := p.Register(provider.MultFastLowPower()); err != nil {
+			fatal(err)
+		}
+		conn, err := core.ConnectInProcess(p, *client, netProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		conn.Harden(core.Resilience{Timeout: *timeout, Retry: retry, Recover: *recover_})
+		ip, meter = conn.Client, conn.Meter
+	} else {
+		raw, err := os.ReadFile(*keyfile)
+		if err != nil {
+			fatal(err)
+		}
+		key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			fatal(fmt.Errorf("bad key file: %w", err))
+		}
+		rpc, err := rmi.Dial(*addr, *client, security.Key(key))
+		if err != nil {
+			fatal(err)
+		}
+		defer rpc.Close()
+		meter = &netsim.Meter{}
+		rpc.Profile = netProfile
+		rpc.Meter = meter
+		rpc.Timeout = *timeout
+		rpc.Retry = retry
+		ip = iplib.NewIPClient(rpc)
+		if *recover_ {
+			ip.EnableRecovery()
+		}
 	}
-	key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		fatal(fmt.Errorf("bad key file: %w", err))
-	}
-	rpc, err := rmi.Dial(*addr, *client, security.Key(key))
-	if err != nil {
-		fatal(err)
-	}
-	defer rpc.Close()
-	meter := &netsim.Meter{}
-	rpc.Profile = netsim.ProfileByName(*profile)
-	rpc.Meter = meter
-	ip := iplib.NewIPClient(rpc)
 
 	specs, err := ip.Catalogue()
 	if err != nil {
@@ -91,7 +132,7 @@ func main() {
 	regb := module.NewRegister("REGB", *width, b, br)
 	out := module.NewPrimaryOutput("OUT", 2**width, o)
 
-	est := core.NewRemotePowerEstimator(inst, offer, *buffer, true)
+	est := core.NewRemotePowerEstimator(inst, offer, *buffer, !*blocking)
 	var mult module.Module
 	if *remote {
 		rm, err := core.NewRemoteMult("MULT", *width, ar, br, o, inst)
@@ -111,6 +152,9 @@ func main() {
 	simu := module.NewSimulation(circuit)
 	setup := estim.NewSetup("run")
 	setup.Set(estim.ParamAvgPower, estim.Criteria{Prefer: estim.PreferAccuracy})
+	est.OnDegrade = func(reason string) {
+		setup.MarkDegraded("MULT", est.Param, reason)
+	}
 
 	start := time.Now()
 	stats := simu.Start(setup)
@@ -124,10 +168,6 @@ func main() {
 	cpu, real := meter.Split(wall)
 
 	rep := est.Report()
-	fees, err := ip.Fees()
-	if err != nil {
-		fatal(err)
-	}
 	mode := "ER"
 	if *remote {
 		mode = "MR"
@@ -139,7 +179,19 @@ func main() {
 	fmt.Printf("  CPU time %v, real time %v (blocked on network %v, %d calls, %d bytes)\n",
 		cpu.Round(time.Microsecond), real.Round(time.Microsecond),
 		meter.Blocked().Round(time.Microsecond), meter.Calls(), meter.Bytes())
-	fmt.Printf("  session bill: %.1f¢\n", fees)
+	if rep.Degraded {
+		fmt.Printf("  DEGRADED: provider declared dead mid-run; %d batches lost, later estimates are fallback values\n",
+			rep.LostBatches)
+	}
+	fees, err := ip.Fees()
+	switch {
+	case err == nil:
+		fmt.Printf("  session bill: %.1f¢\n", fees)
+	case errors.Is(err, rmi.ErrProviderDead):
+		fmt.Println("  session bill: unavailable (provider dead)")
+	default:
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

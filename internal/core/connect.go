@@ -2,6 +2,7 @@ package core
 
 import (
 	"net"
+	"time"
 
 	"repro/internal/iplib"
 	"repro/internal/netsim"
@@ -25,24 +26,74 @@ func (c *Connection) Close() {
 	}
 }
 
+// Resilience bundles the transport-resilience knobs of a provider
+// session: per-call deadlines, backoff retry for idempotent calls, and
+// session recovery (automatic reconnect with bind/batch replay).
+type Resilience struct {
+	// Timeout bounds each call attempt and reconnect handshake.
+	Timeout time.Duration
+	// Retry is the backoff policy for idempotent calls.
+	Retry rmi.RetryPolicy
+	// Recover arms the session journal: after a reconnect, binds and
+	// estimation batches are replayed so results match a fault-free run.
+	Recover bool
+}
+
+// DefaultResilience returns production-shaped settings: 2s deadlines,
+// four attempts, full session recovery.
+func DefaultResilience() Resilience {
+	return Resilience{Timeout: 2 * time.Second, Retry: rmi.DefaultRetry, Recover: true}
+}
+
+// Harden applies the resilience settings to the session's RPC client.
+func (c *Connection) Harden(r Resilience) {
+	c.Client.RPC.Timeout = r.Timeout
+	c.Client.RPC.Retry = r.Retry
+	if r.Recover {
+		c.Client.EnableRecovery()
+	}
+}
+
+// PipeDialer returns a dial function that opens an in-process pipe to
+// the provider's server — the loopback transport of the performance
+// study, also usable as a redial target for reconnect tests.
+func PipeDialer(p *provider.Provider) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go p.Server.ServeConn(a)
+		return b, nil
+	}
+}
+
 // ConnectInProcess wires a client to a provider over an in-process pipe,
 // running the full wire protocol (handshake, gob serialization,
 // marshalling policy) with the given emulated network profile. This is
 // the deployment the performance study uses: one host, real protocol,
 // emulated transfer delays.
 func ConnectInProcess(p *provider.Provider, clientName string, profile netsim.Profile) (*Connection, error) {
+	return ConnectVia(p, clientName, profile, PipeDialer(p))
+}
+
+// ConnectVia wires a client to a provider through an arbitrary dial
+// function — fault-injection tests interpose netsim.FaultyDialer here.
+// The dialer is also installed as the client's Redial, so a broken
+// connection heals on the next call (session state is re-established
+// only when recovery is armed via Harden).
+func ConnectVia(p *provider.Provider, clientName string, profile netsim.Profile, dial func() (net.Conn, error)) (*Connection, error) {
 	key, err := security.NewKey()
 	if err != nil {
 		return nil, err
 	}
 	p.Authorize(clientName, key)
-	a, b := net.Pipe()
-	go p.Server.ServeConn(a)
-	rpc, err := rmi.NewClient(b, clientName, key)
+	conn, err := dial()
 	if err != nil {
-		a.Close()
 		return nil, err
 	}
+	rpc, err := rmi.NewClient(conn, clientName, key)
+	if err != nil {
+		return nil, err
+	}
+	rpc.Redial = dial
 	meter := &netsim.Meter{}
 	rpc.Profile = profile
 	rpc.Meter = meter

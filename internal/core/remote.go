@@ -9,13 +9,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/estim"
 	"repro/internal/iplib"
 	"repro/internal/module"
+	"repro/internal/rmi"
 	"repro/internal/signal"
 )
 
@@ -55,18 +58,30 @@ type RemotePowerEstimator struct {
 	// running the power simulator (the Figure 3 methodology, isolating
 	// RMI overhead from compute).
 	SkipCompute bool
+	// Fallback, when non-nil, produces estimates after the provider is
+	// declared dead (every transport retry and reconnect exhausted); nil
+	// degrades to null values — either way the simulation completes with
+	// partial estimates instead of aborting.
+	Fallback estim.Estimator
+	// OnDegrade, when non-nil, is invoked exactly once when the
+	// estimator degrades, typically to call estim.Setup.MarkDegraded.
+	// It runs with the estimator's lock held; it must not call back into
+	// the estimator.
+	OnDegrade func(reason string)
 
 	// dispatch runs one batch remotely; the default is the power-batch
 	// method, NewRemoteTimingEstimator substitutes the timing method.
 	dispatch func(batch [][]signal.Bit, skip bool) ([]float64, error)
 
-	mu      sync.Mutex
-	buf     [][]signal.Bit
-	results []float64
-	errs    []error
-	sent    int
-	wg      sync.WaitGroup
-	closed  bool
+	mu          sync.Mutex
+	buf         [][]signal.Bit
+	results     []float64
+	errs        []error
+	sent        int
+	wg          sync.WaitGroup
+	closed      bool
+	degraded    bool
+	lostBatches int
 }
 
 // NewRemotePowerEstimator builds the estimator from a provider offer.
@@ -109,6 +124,13 @@ func (e *RemotePowerEstimator) Estimate(ec *estim.EvalContext) (estim.ParamValue
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, fmt.Errorf("core: estimator %s used after Close", e.Name)
+	}
+	if e.degraded {
+		// Provider declared dead: serve the fallback estimator locally.
+		if e.Fallback != nil {
+			return e.Fallback.Estimate(ec)
+		}
+		return estim.NullValue{}, nil
 	}
 	e.buf = append(e.buf, pattern)
 	if len(e.buf) >= e.BufferSize {
@@ -161,13 +183,41 @@ func (e *RemotePowerEstimator) dispatchBatch(batch [][]signal.Bit) ([]float64, e
 }
 
 // record appends batch results; for nonblocking calls the caller holds
-// e.mu, for blocking calls it already does too.
+// e.mu, for blocking calls it already does too. A batch lost to a dead
+// provider degrades the estimator instead of failing the run.
 func (e *RemotePowerEstimator) record(vals []float64, err error) {
 	if err != nil {
+		if errors.Is(err, rmi.ErrProviderDead) {
+			e.lostBatches++
+			e.degradeLocked(err.Error())
+			return
+		}
 		e.errs = append(e.errs, err)
 		return
 	}
 	e.results = append(e.results, vals...)
+}
+
+// degradeLocked flips the estimator into fallback mode (once); the
+// caller holds e.mu. Buffered unsent patterns are discarded — their
+// estimates will come from the fallback path like all later ones.
+func (e *RemotePowerEstimator) degradeLocked(reason string) {
+	if e.degraded {
+		return
+	}
+	e.degraded = true
+	e.buf = nil
+	if e.OnDegrade != nil {
+		e.OnDegrade(reason)
+	}
+}
+
+// Degraded reports whether the estimator has fallen back after its
+// provider was declared dead.
+func (e *RemotePowerEstimator) Degraded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.degraded
 }
 
 // Close flushes the remaining partial buffer and waits for every
@@ -199,13 +249,20 @@ type PowerReport struct {
 	Sent      int
 	AvgPower  float64
 	PeakPower float64
+	// Degraded reports that the provider died mid-run and the estimator
+	// fell back; LostBatches counts the batches whose values were lost.
+	Degraded    bool
+	LostBatches int
 }
 
 // Report returns the accumulated remote estimates.
 func (e *RemotePowerEstimator) Report() PowerReport {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	r := PowerReport{Samples: append([]float64(nil), e.results...), Sent: e.sent}
+	r := PowerReport{
+		Samples: append([]float64(nil), e.results...), Sent: e.sent,
+		Degraded: e.degraded, LostBatches: e.lostBatches,
+	}
 	if len(r.Samples) > 1 {
 		sum := 0.0
 		for _, v := range r.Samples {
@@ -250,6 +307,11 @@ type RemoteMult struct {
 	FullyRemote bool
 	// Delay is the output propagation delay.
 	Delay int
+	// OnDegrade, when non-nil, is invoked once if the provider dies and
+	// functional evaluation degrades to the local public part.
+	OnDegrade func(reason string)
+
+	degraded atomic.Bool
 }
 
 // NewRemoteMult instantiates the remote multiplier over the connectors,
@@ -270,27 +332,39 @@ func NewRemoteMult(name string, width int, a, b, o *module.Connector, inst *ipli
 func (m *RemoteMult) Instance() *iplib.BoundInstance { return m.inst }
 
 // ProcessInputEvent computes the product — locally from the public part,
-// or remotely when FullyRemote.
+// or remotely when FullyRemote. If the provider is declared dead
+// mid-simulation, functional evaluation degrades permanently to the
+// local public part (the downloadable functional model remains
+// available, so the design keeps simulating with reduced fidelity).
 func (m *RemoteMult) ProcessInputEvent(ctx *module.Ctx, ev *module.PortEvent) {
 	aw, aok := ctx.InputWordOn(m.a)
 	bw, bok := ctx.InputWordOn(m.b)
 	if !aok || !bok {
 		return
 	}
-	if !m.FullyRemote {
-		av, _ := aw.Uint64()
-		bv, _ := bw.Uint64()
-		prod := av * bv
-		if 2*m.width < 64 {
-			prod &= (1 << uint(2*m.width)) - 1
+	if m.FullyRemote && !m.degraded.Load() {
+		out, err := m.inst.Eval(wordsToBits(aw, bw))
+		if err == nil {
+			w := signal.Word{Bits: append([]signal.Bit(nil), out...)}
+			ctx.Drive(m.o, signal.WordValue{W: w}, 1)
+			return
 		}
-		ctx.Drive(m.o, signal.WordValue{W: signal.WordFromUint64(prod, 2*m.width)}, 1)
-		return
+		if !errors.Is(err, rmi.ErrProviderDead) {
+			panic(fmt.Sprintf("core: remote eval of %s: %v", m.ModuleName(), err))
+		}
+		if !m.degraded.Swap(true) && m.OnDegrade != nil {
+			m.OnDegrade(err.Error())
+		}
 	}
-	out, err := m.inst.Eval(wordsToBits(aw, bw))
-	if err != nil {
-		panic(fmt.Sprintf("core: remote eval of %s: %v", m.ModuleName(), err))
+	av, _ := aw.Uint64()
+	bv, _ := bw.Uint64()
+	prod := av * bv
+	if 2*m.width < 64 {
+		prod &= (1 << uint(2*m.width)) - 1
 	}
-	w := signal.Word{Bits: append([]signal.Bit(nil), out...)}
-	ctx.Drive(m.o, signal.WordValue{W: w}, 1)
+	ctx.Drive(m.o, signal.WordValue{W: signal.WordFromUint64(prod, 2*m.width)}, 1)
 }
+
+// Degraded reports whether remote evaluation has fallen back to the
+// local public part.
+func (m *RemoteMult) Degraded() bool { return m.degraded.Load() }

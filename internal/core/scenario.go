@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/estim"
 	"repro/internal/module"
 	"repro/internal/netsim"
 	"repro/internal/provider"
+	"repro/internal/rmi"
 	"repro/internal/sim"
 )
 
@@ -60,6 +63,13 @@ type Config struct {
 	Seed int64
 	// Period is the stimulus period in simulation time units.
 	Period sim.Time
+	// Resilience, when non-nil, hardens the provider session: per-call
+	// deadlines, backoff retry, and session recovery (reconnect + replay).
+	Resilience *Resilience
+	// DialVia, when non-nil, overrides the provider transport dialer —
+	// fault-injection tests interpose netsim.FaultyDialer here. nil uses
+	// the in-process pipe.
+	DialVia func(p *provider.Provider) func() (net.Conn, error)
 }
 
 // DefaultConfig returns the paper's experimental parameters.
@@ -98,6 +108,9 @@ type Result struct {
 	Bytes int64
 	// PowerSamples counts per-pattern power values received remotely.
 	PowerSamples int
+	// Power is the full remote estimation report (nil for AL), including
+	// the per-pattern values and any degradation record.
+	Power *PowerReport
 	// FeesCents is the provider bill for the run.
 	FeesCents float64
 	// Products counts the multiplier outputs observed at the primary
@@ -149,12 +162,20 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		if err := prov.Register(provider.MultFastLowPower()); err != nil {
 			return nil, err
 		}
+		dial := PipeDialer(prov)
+		if cfg.DialVia != nil {
+			dial = cfg.DialVia(prov)
+		}
 		var err error
-		conn, err = ConnectInProcess(prov, "designer", cfg.Profile)
+		conn, err = ConnectVia(prov, "designer", cfg.Profile, dial)
 		if err != nil {
 			return nil, err
 		}
 		defer conn.Close()
+		if cfg.Resilience != nil {
+			// Harden before Bind so the bind lands in the recovery journal.
+			conn.Harden(*cfg.Resilience)
+		}
 		inst, err := conn.Client.Bind("MultFastLowPower", cfg.Width, nil)
 		if err != nil {
 			return nil, err
@@ -191,6 +212,11 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 	simu := module.NewSimulation(circuit)
 	setup := estim.NewSetup(s.String())
 	setup.Set(estim.ParamAvgPower, estim.Criteria{Prefer: estim.PreferAccuracy})
+	if remote != nil {
+		remote.OnDegrade = func(reason string) {
+			setup.MarkDegraded("MULT", remote.Param, reason)
+		}
+	}
 
 	if conn != nil {
 		// Session setup (catalogue, bind) happens before the measured
@@ -228,13 +254,19 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		res.Calls = conn.Meter.Calls()
 		res.Bytes = conn.Meter.Bytes()
 		fees, err := conn.Client.Fees()
-		if err != nil {
+		switch {
+		case err == nil:
+			res.FeesCents = fees
+		case errors.Is(err, rmi.ErrProviderDead):
+			// Degraded run: the bill is unreachable, the results are not.
+		default:
 			return nil, err
 		}
-		res.FeesCents = fees
 	}
 	if remote != nil {
-		res.PowerSamples = len(remote.Report().Samples)
+		rep := remote.Report()
+		res.Power = &rep
+		res.PowerSamples = len(rep.Samples)
 	}
 	return res, nil
 }

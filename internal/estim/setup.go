@@ -128,6 +128,7 @@ type Setup struct {
 	agg      map[aggKey]*Aggregate
 	fees     map[string]float64 // estimator name -> total cents
 	warnings []Warning
+	degraded map[aggKey]string // degradation reason per (module, param)
 }
 
 type aggKey struct {
@@ -225,6 +226,43 @@ func (s *Setup) Warnings() []Warning {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Warning(nil), s.warnings...)
+}
+
+// MarkDegraded records that a component's estimation of p fell back to a
+// degraded estimator mid-simulation — the graceful-degradation path when
+// an IP provider is declared dead: the run completes with partial
+// estimates (the paper's null-estimator philosophy) instead of aborting.
+// The first report per (module, parameter) is also recorded as a
+// warning; repeats are ignored.
+func (s *Setup) MarkDegraded(module string, p Parameter, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := aggKey{module: module, param: p}
+	if s.degraded == nil {
+		s.degraded = make(map[aggKey]string)
+	}
+	if _, dup := s.degraded[k]; dup {
+		return
+	}
+	s.degraded[k] = reason
+	s.warnings = append(s.warnings, Warning{Module: module, Param: p, Reason: reason})
+}
+
+// DegradedFor returns the degradation reason recorded for one
+// (module, parameter), if any.
+func (s *Setup) DegradedFor(module string, p Parameter) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reason, ok := s.degraded[aggKey{module: module, param: p}]
+	return reason, ok
+}
+
+// Degraded reports whether any component's estimation degraded during
+// the run.
+func (s *Setup) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.degraded) > 0
 }
 
 // Record appends one produced estimate, charging the estimator's fee.

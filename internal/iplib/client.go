@@ -16,6 +16,10 @@ type IPClient struct {
 	// RPC is the underlying authenticated client (exposed so callers can
 	// set the network profile and meter).
 	RPC *rmi.Client
+
+	// journal, when armed via EnableRecovery, replays session state
+	// (binds, estimation batches) after an automatic reconnect.
+	journal *sessionJournal
 }
 
 // NewIPClient wraps an authenticated RPC client.

@@ -85,6 +85,57 @@ func TestMeterAccounting(t *testing.T) {
 	}
 }
 
+func TestProfileDelayTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		profile Profile
+		bytes   int
+		want    time.Duration
+	}{
+		{"in-process-zero", InProcess, 4096, 0},
+		{"local-latency-only", Local, 0, 50 * time.Microsecond},
+		{"local-1kb", Local, 1024, 55 * time.Microsecond},
+		{"lan-latency-only", LAN, 0, 500 * time.Microsecond},
+		{"lan-2kb", LAN, 2048, 580 * time.Microsecond},
+		{"wan-latency-only", WAN, 0, 12 * time.Millisecond},
+		{"wan-half-kb-floor", WAN, 512, 12*time.Millisecond + 200*time.Microsecond},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.profile.Delay(tc.bytes, nil); got != tc.want {
+				t.Errorf("%s.Delay(%d) = %v, want %v", tc.profile.Name, tc.bytes, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeterSplitTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		blocked time.Duration
+		wall    time.Duration
+		cpu     time.Duration
+	}{
+		{"no-blocking", 0, 100 * time.Millisecond, 100 * time.Millisecond},
+		{"half-blocked", 50 * time.Millisecond, 100 * time.Millisecond, 50 * time.Millisecond},
+		{"fully-blocked", 100 * time.Millisecond, 100 * time.Millisecond, 0},
+		{"over-blocked-floors", 250 * time.Millisecond, 100 * time.Millisecond, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Meter
+			m.AddBlocked(tc.blocked)
+			cpu, real := m.Split(tc.wall)
+			if real != tc.wall {
+				t.Errorf("real = %v, want wall %v", real, tc.wall)
+			}
+			if cpu != tc.cpu {
+				t.Errorf("cpu = %v, want %v", cpu, tc.cpu)
+			}
+		})
+	}
+}
+
 func TestMeterConcurrentSafe(t *testing.T) {
 	var m Meter
 	done := make(chan struct{})

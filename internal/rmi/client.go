@@ -38,6 +38,14 @@ func (c *countingConn) Write(p []byte) (int, error) {
 // component. A client owns one authenticated session with one provider
 // server. Calls are serialized (one outstanding request per connection,
 // as in classic RMI); nonblocking use runs Go on worker goroutines.
+//
+// A client is resilient when configured with a Timeout (per-call
+// deadline), a Retry policy (backoff for idempotent calls), and a Redial
+// function (automatic reconnect + session re-handshake after a broken
+// connection). When every attempt is exhausted the provider is declared
+// dead: the call fails with an error wrapping ErrProviderDead and all
+// further calls fail fast, letting the estimation layer degrade instead
+// of hanging.
 type Client struct {
 	// Name is the client (IP user) identity presented to the provider.
 	Name string
@@ -48,68 +56,142 @@ type Client struct {
 	Meter *netsim.Meter
 	// Policy vets outbound payloads; nil uses security.DefaultPolicy.
 	Policy *security.MarshalPolicy
-	// Timeout bounds each call's transport wait (write + response read).
-	// Zero means no deadline. A timed-out connection is left in an
-	// undefined protocol state and is closed.
+	// Timeout bounds each call attempt's transport wait (write +
+	// response read) and each reconnect handshake. Zero means no
+	// deadline. A timed-out connection is in an undefined protocol state
+	// and is abandoned; a resilient client reconnects on the next
+	// attempt.
 	Timeout time.Duration
+	// Retry governs backoff retry of transport failures for idempotent
+	// calls. The zero value disables retry.
+	Retry RetryPolicy
+	// Idempotent reports whether a method may safely be re-invoked after
+	// an ambiguous transport failure (the request may or may not have
+	// executed). nil treats every method as idempotent; callers with
+	// non-idempotent methods must install a predicate (internal/iplib
+	// provides one for the IP protocol).
+	Idempotent func(method string) bool
+	// Redial reopens the transport for automatic reconnect; nil disables
+	// reconnection. Dial installs a TCP redialer automatically.
+	Redial func() (net.Conn, error)
+	// OnReconnect, when non-nil, replays application session state after
+	// a successful re-handshake (the new server session starts empty —
+	// bound instances are gone). It runs with the connection locked; it
+	// must issue calls only through the supplied do function, never
+	// through Call/Go.
+	OnReconnect func(do func(method string, args PortData, reply any) error) error
+	// Recorder, when non-nil, observes each successful call in exact
+	// wire order (it runs under the connection lock). The session-replay
+	// journal hangs off this hook. Replayed calls are not re-recorded.
+	Recorder func(method string, args PortData, reply any)
 
-	mu      sync.Mutex
-	conn    *countingConn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	session string
-	nextID  uint64
-	jitter  *mrand.Rand
-	closed  bool
+	key security.Key // for session re-handshake on reconnect
+
+	mu         sync.Mutex
+	conn       *countingConn
+	enc        *gob.Encoder
+	dec        *gob.Decoder
+	session    string
+	nextID     uint64
+	jitter     *mrand.Rand
+	closed     bool // Close was called; permanent
+	broken     bool // transport failed mid-stream; reconnectable
+	dead       bool // retries + reconnects exhausted; permanent
+	reconnects int
 }
 
 // Dial connects to a provider server over TCP and authenticates with the
-// shared key.
+// shared key. The returned client can redial the same address, so
+// setting Retry is enough to make it resilient.
 func Dial(addr, clientName string, key security.Key) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, clientName, key)
+	c, err := NewClient(conn, clientName, key)
+	if err != nil {
+		return nil, err
+	}
+	c.Redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return c, nil
 }
 
 // NewClient runs the handshake over an existing connection (net.Pipe for
 // in-process loopback deployments, or any emulated transport).
 func NewClient(conn net.Conn, clientName string, key security.Key) (*Client, error) {
-	cc := &countingConn{Conn: conn}
 	c := &Client{
 		Name:   clientName,
-		conn:   cc,
-		enc:    gob.NewEncoder(cc),
-		dec:    gob.NewDecoder(cc),
+		key:    key,
 		jitter: mrand.New(mrand.NewPCG(0x90cad, 0x1999)),
+	}
+	if err := c.attach(conn); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// attach runs the authentication handshake over conn and installs it as
+// the client's transport. The caller holds c.mu (or the client is not
+// yet shared). On failure conn is closed and the previous transport
+// state is untouched.
+func (c *Client) attach(conn net.Conn) error {
+	cc := &countingConn{Conn: conn}
+	enc := gob.NewEncoder(cc)
+	dec := gob.NewDecoder(cc)
+	if c.Timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
 	}
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
-	msg := append(append([]byte(nil), nonce...), clientName...)
-	hello := frame{Kind: kindHello, Client: clientName, Nonce: nonce, Tag: key.Tag(msg)}
-	if err := c.enc.Encode(&hello); err != nil {
+	msg := append(append([]byte(nil), nonce...), c.Name...)
+	hello := frame{Kind: kindHello, Client: c.Name, Nonce: nonce, Tag: c.key.Tag(msg)}
+	if err := enc.Encode(&hello); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rmi: handshake send: %w", err)
+		return fmt.Errorf("rmi: handshake send: %w", err)
 	}
 	var welcome frame
-	if err := c.dec.Decode(&welcome); err != nil {
+	if err := dec.Decode(&welcome); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rmi: handshake receive: %w", err)
+		return fmt.Errorf("rmi: handshake receive: %w", err)
 	}
 	if welcome.Err != "" {
 		conn.Close()
-		return nil, errors.New(welcome.Err)
+		return errors.New(welcome.Err)
 	}
+	if c.Timeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	c.conn, c.enc, c.dec = cc, enc, dec
 	c.session = welcome.Session
-	return c, nil
+	c.broken = false
+	return nil
 }
 
-// Session returns the authenticated session identifier.
-func (c *Client) Session() string { return c.session }
+// Session returns the authenticated session identifier. It changes after
+// an automatic reconnect (the provider opens a fresh session).
+func (c *Client) Session() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Dead reports whether the provider has been declared dead (every retry
+// and reconnect attempt exhausted).
+func (c *Client) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Reconnects returns how many automatic reconnects have succeeded.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
 
 // Close shuts the connection down.
 func (c *Client) Close() error {
@@ -118,12 +200,25 @@ func (c *Client) Close() error {
 	return c.closeLocked()
 }
 
-// closeLocked marks the client dead and closes the transport; the caller
-// holds c.mu. A failed or timed-out call leaves the gob stream in an
-// undefined state, so the connection cannot be reused.
+// closeLocked marks the client permanently closed and closes the
+// transport; the caller holds c.mu.
 func (c *Client) closeLocked() error {
 	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
+}
+
+// breakLocked abandons the transport after a mid-stream failure: the gob
+// stream is in an undefined state (a partial frame, or a stale response
+// that would desynchronize request/response matching), so the connection
+// cannot be reused. A resilient client reconnects on the next attempt.
+func (c *Client) breakLocked() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
 }
 
 // Call invokes a remote method synchronously: args is the request
@@ -156,11 +251,82 @@ func (c *Client) call(method string, args PortData, reply any, meterBlocked bool
 	}
 
 	start := time.Now()
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return errors.New("rmi: client closed")
+	attempts := c.Retry.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.mu.Lock()
+			d := c.Retry.backoff(a, c.jitter)
+			c.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		sent, recvd, err := c.exchange(method, args, payload, reply)
+		if err == nil {
+			if c.Meter != nil {
+				if meterBlocked {
+					c.Meter.AddBlocked(time.Since(start))
+				}
+				c.Meter.AddCall(sent + recvd)
+			}
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || !c.methodIdempotent(method) {
+			return err
+		}
 	}
+	if attempts > 1 {
+		// A configured retry policy ran dry: declare the provider dead so
+		// queued and future calls fail fast instead of re-walking the
+		// whole backoff ladder.
+		c.mu.Lock()
+		if !c.closed {
+			c.dead = true
+		}
+		c.mu.Unlock()
+		return deadError(method, attempts, lastErr)
+	}
+	return lastErr
+}
+
+// methodIdempotent applies the Idempotent predicate (nil = all methods).
+func (c *Client) methodIdempotent(method string) bool {
+	return c.Idempotent == nil || c.Idempotent(method)
+}
+
+// exchange performs one wire attempt: reconnecting first if the previous
+// transport broke, then running one request/response round trip.
+func (c *Client) exchange(method string, args PortData, payload []byte, reply any) (sent, recvd int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, errClientClosed
+	}
+	if c.dead {
+		return 0, 0, fmt.Errorf("rmi: %s: %w", method, ErrProviderDead)
+	}
+	if c.broken {
+		if err := c.reconnectLocked(); err != nil {
+			return 0, 0, fmt.Errorf("rmi: reconnect: %w", err)
+		}
+	}
+	sent, recvd, err = c.wireExchange(method, payload, reply, true)
+	if err != nil {
+		return sent, recvd, err
+	}
+	if c.Recorder != nil {
+		c.Recorder(method, args, reply)
+	}
+	return sent, recvd, nil
+}
+
+// wireExchange runs one request/response round trip on the current
+// transport; the caller holds c.mu. emulate selects injected-delay
+// emulation (session replay skips it: recovery overhead is not part of
+// the workload's traffic accounting).
+func (c *Client) wireExchange(method string, payload []byte, reply any, emulate bool) (sent, recvd int, err error) {
 	c.nextID++
 	req := frame{Kind: kindRequest, ID: c.nextID, Session: c.session, Method: method, Payload: payload}
 	w0, r0 := c.conn.written, c.conn.read
@@ -168,51 +334,91 @@ func (c *Client) call(method string, args PortData, reply any, meterBlocked bool
 		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
 	}
 	if err := c.enc.Encode(&req); err != nil {
-		c.closeLocked()
-		c.mu.Unlock()
-		return fmt.Errorf("rmi: send %s: %w", method, err)
+		c.breakLocked()
+		return 0, 0, fmt.Errorf("rmi: send %s: %w", method, err)
 	}
 	var resp frame
 	if err := c.dec.Decode(&resp); err != nil {
-		c.closeLocked()
-		c.mu.Unlock()
-		return fmt.Errorf("rmi: receive %s: %w", method, err)
+		c.breakLocked()
+		return int(c.conn.written - w0), int(c.conn.read - r0), fmt.Errorf("rmi: receive %s: %w", method, err)
 	}
 	if c.Timeout > 0 {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
-	sent := int(c.conn.written - w0)
-	recvd := int(c.conn.read - r0)
-	var jr *mrand.Rand
-	if c.Profile.Jitter > 0 {
-		jr = c.jitter
-	}
-	// Inject the emulated transfer time for this call's byte volume
-	// while still holding the connection: on a real serialized RMI link
-	// the response only arrives after the round trip, so queued calls
-	// must wait behind it rather than pipeline through the emulation.
-	delay := emulatedRoundTrip(c.Profile, sent, recvd, jr)
-	if delay > 0 {
-		time.Sleep(delay)
-	}
-	c.mu.Unlock()
-	if c.Meter != nil {
-		if meterBlocked {
-			c.Meter.AddBlocked(time.Since(start))
+	sent = int(c.conn.written - w0)
+	recvd = int(c.conn.read - r0)
+	if emulate {
+		var jr *mrand.Rand
+		if c.Profile.Jitter > 0 {
+			jr = c.jitter
 		}
-		c.Meter.AddCall(sent + recvd)
+		// Inject the emulated transfer time for this call's byte volume
+		// while still holding the connection: on a real serialized RMI
+		// link the response only arrives after the round trip, so queued
+		// calls must wait behind it rather than pipeline through the
+		// emulation.
+		if delay := emulatedRoundTrip(c.Profile, sent, recvd, jr); delay > 0 {
+			time.Sleep(delay)
+		}
 	}
-
 	if resp.ID != req.ID {
-		return fmt.Errorf("rmi: response id %d for request %d", resp.ID, req.ID)
+		// A stale frame (e.g. the response to an earlier failed call) is
+		// in the stream: request/response matching is desynchronized and
+		// the connection is poisoned.
+		c.breakLocked()
+		return sent, recvd, fmt.Errorf("rmi: %s: response id %d for request %d (stream desynchronized)", method, resp.ID, req.ID)
 	}
 	if resp.Err != "" {
-		return &RemoteError{Method: method, Msg: resp.Err}
+		return sent, recvd, &RemoteError{Method: method, Msg: resp.Err}
 	}
 	if reply == nil {
-		return nil
+		return sent, recvd, nil
 	}
-	return Decode(resp.Payload, reply)
+	if err := Decode(resp.Payload, reply); err != nil {
+		// The frame arrived intact; re-executing the method would return
+		// the same undecodable payload.
+		return sent, recvd, &permanentError{err: err}
+	}
+	return sent, recvd, nil
+}
+
+// reconnectLocked redials the transport, re-runs the authentication
+// handshake (opening a fresh provider session), and replays application
+// session state through OnReconnect. The caller holds c.mu.
+func (c *Client) reconnectLocked() error {
+	if c.Redial == nil {
+		return errors.New("rmi: connection broken")
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := c.Redial()
+	if err != nil {
+		return err
+	}
+	if err := c.attach(conn); err != nil {
+		return err
+	}
+	c.reconnects++
+	if c.OnReconnect != nil {
+		if err := c.OnReconnect(c.replayCallLocked); err != nil {
+			c.breakLocked()
+			return fmt.Errorf("session replay: %w", err)
+		}
+	}
+	return nil
+}
+
+// replayCallLocked is the restricted call surface handed to OnReconnect:
+// one round trip on the freshly attached connection, without emulation,
+// metering, or re-recording. The caller (reconnectLocked) holds c.mu.
+func (c *Client) replayCallLocked(method string, args PortData, reply any) error {
+	payload, err := Encode(args)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.wireExchange(method, payload, reply, false)
+	return err
 }
 
 // Pending is an in-flight asynchronous call.

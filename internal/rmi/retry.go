@@ -1,0 +1,122 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"time"
+)
+
+// ErrProviderDead marks a provider declared unreachable: every retry and
+// reconnect attempt of a resilient client was exhausted. Callers detect
+// it with errors.Is and degrade gracefully (the estimation layer falls
+// back to the null estimator rather than aborting the simulation).
+var ErrProviderDead = errors.New("rmi: provider dead")
+
+// errClientClosed is returned for calls on a client after Close.
+var errClientClosed = errors.New("rmi: client closed")
+
+// RetryPolicy governs transport-failure retry for idempotent calls:
+// exponential backoff with multiplicative growth, a ceiling, and
+// deterministic jitter (drawn from the client's seeded source, so test
+// runs reproduce exactly).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per call, including the first.
+	// Zero or one disables retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff. Zero means uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry; values below 1 mean 2.
+	Multiplier float64
+	// JitterFrac adds up to this fraction of the backoff as random extra
+	// delay, decorrelating clients that fail together.
+	JitterFrac float64
+}
+
+// DefaultRetry is a sane production policy: four attempts spanning
+// roughly one second.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   5 * time.Millisecond,
+	MaxDelay:    500 * time.Millisecond,
+	Multiplier:  2,
+	JitterFrac:  0.2,
+}
+
+// attempts normalizes MaxAttempts to at least one try.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retry number n (1-based). jr supplies
+// jitter; nil means none.
+func (p RetryPolicy) backoff(n int, jr *mrand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	out := time.Duration(d)
+	if p.JitterFrac > 0 && jr != nil {
+		if span := int64(d * p.JitterFrac); span > 0 {
+			out += time.Duration(jr.Int64N(span))
+		}
+	}
+	return out
+}
+
+// permanentError wraps a failure that must not be retried even though it
+// is not a remote application error — e.g. a reply that arrived intact
+// but cannot be decoded (retrying would re-execute the method for the
+// same undecodable answer).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// retryable classifies a call failure. Remote application errors mean
+// the method executed — never retry. Permanent client-side errors and
+// terminal states (closed, dead) are equally final. Everything else is a
+// transport fault whose request may or may not have executed; those are
+// retried only for idempotent methods.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	if errors.Is(err, errClientClosed) || errors.Is(err, ErrProviderDead) {
+		return false
+	}
+	return true
+}
+
+// deadError builds the terminal error after retries are exhausted.
+func deadError(method string, attempts int, last error) error {
+	return fmt.Errorf("rmi: %s failed after %d attempts (%v): %w",
+		method, attempts, last, ErrProviderDead)
+}

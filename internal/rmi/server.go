@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/security"
 )
@@ -69,6 +70,11 @@ type Server struct {
 	Policy *security.MarshalPolicy
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between requests (and how long the handshake may take) before the
+	// server drops it — dead or wedged clients cannot pin goroutines
+	// forever. Clients reconnect transparently when resilient.
+	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	methods  map[string]Handler
@@ -180,6 +186,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 
 	// Handshake.
+	if s.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	}
 	var hello frame
 	if err := dec.Decode(&hello); err != nil {
 		return
@@ -197,6 +206,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 
 	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		var req frame
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
