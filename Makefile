@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 15s
+BENCHTIME ?= 1s
+BENCHDATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race fuzz vet ci clean
+.PHONY: all build test race fuzz vet bench smoke-bench ci clean
 
 all: build test
 
@@ -24,7 +26,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 
-ci: build vet test race fuzz
+# Full benchmark sweep with allocation stats, archived as a dated JSON
+# snapshot (one go-test event per line) for regression comparison.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | tee BENCH_$(BENCHDATE).json
+	@echo "benchmark snapshot written to BENCH_$(BENCHDATE).json"
+
+# Quick CI smoke: the kernel and fault-simulation benchmarks only, one
+# short iteration each — catches crashes and gross regressions, not noise.
+smoke-bench:
+	$(GO) test -run='^$$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
+
+ci: build vet test race fuzz smoke-bench
 
 clean:
 	$(GO) clean ./...

@@ -88,24 +88,35 @@ func BenchmarkFigure3BufferSweep(b *testing.B) {
 }
 
 // BenchmarkFigure4VirtualFaultSim regenerates the Figure 4/5 worked
-// example: two-phase virtual fault simulation of the half-adder design.
+// example: two-phase virtual fault simulation of the half-adder design,
+// at the legacy serial worker count and with the full worker pool.
 func BenchmarkFigure4VirtualFaultSim(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rep, err := core.RunFigure4()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rep.FaultList) == 0 {
-			b.Fatal("empty fault list")
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workersNumCPU", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunFigure4(bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.FaultList) == 0 {
+					b.Fatal("empty fault list")
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkVirtualVsSerialFaultSim is the protocol-cost ablation: virtual
 // fault simulation (per-pattern tables + injections) versus flat serial
-// simulation of the same flattened design.
+// simulation of the same flattened design, each at worker counts 1
+// (legacy serial) and NumCPU. The two-IP design exercises the full
+// fan-out: concurrent detection-table queries to both providers plus the
+// per-row injection pool.
 func BenchmarkVirtualVsSerialFaultSim(b *testing.B) {
-	d, err := fault.Figure4Design()
+	d, err := fault.RandomTwoIPDesign(60, 11)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -119,39 +130,92 @@ func BenchmarkVirtualVsSerialFaultSim(b *testing.B) {
 		}
 		patterns = append(patterns, p)
 	}
-	b.Run("virtual", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			d, err := fault.Figure4Design()
-			if err != nil {
-				b.Fatal(err)
+	workerCounts := []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workersNumCPU", 0}}
+	for _, bc := range workerCounts {
+		b.Run("virtual/"+bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := fault.RandomTwoIPDesign(60, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vs := d.NewVirtual()
+				vs.Workers = bc.workers
+				if _, err := vs.Run(patterns); err != nil {
+					b.Fatal(err)
+				}
 			}
-			if _, err := d.NewVirtual().Run(patterns); err != nil {
-				b.Fatal(err)
+		})
+	}
+	for _, bc := range workerCounts {
+		b.Run("serial-flat/"+bc.name, func(b *testing.B) {
+			faults := fault.Collapse(d.Flat)
+			for i := 0; i < b.N; i++ {
+				if _, err := fault.SerialSimulateFaultsWorkers(d.Flat, faults, patterns, bc.workers); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("serial-flat", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := fault.SerialSimulate(d.Flat, patterns); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
-// BenchmarkSchedulerThroughput measures raw kernel token delivery.
+// BenchmarkSchedulerThroughput measures raw kernel token delivery. The
+// sub-benchmarks isolate the queue cost itself (post/pop of preallocated
+// tokens through the inlined heap) and the pooled signal-token path,
+// whose steady state allocates nothing per event.
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	h := &nullHandler{}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	b.Run("run1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sim.NewScheduler()
+			for t := sim.Time(1); t <= 1000; t++ {
+				s.Post(&sim.SelfToken{T: t, Dst: h})
+			}
+			if err := s.Run(nil, sim.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("post-pop", func(b *testing.B) {
+		// One preallocated token per queue slot: the measured cost is the
+		// heap push/pop and delivery machinery alone.
+		const q = 1024
+		toks := make([]*sim.SelfToken, q)
+		for i := range toks {
+			toks[i] = &sim.SelfToken{Dst: h}
+		}
 		s := sim.NewScheduler()
-		for t := sim.Time(1); t <= 1000; t++ {
-			s.Post(&sim.SelfToken{T: t, Dst: h})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += q {
+			base := s.Now() + 1
+			for j := range toks {
+				toks[j].T = base + sim.Time(j)
+				s.Post(toks[j])
+			}
+			if err := s.Run(nil, sim.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
 		}
-		if err := s.Run(nil, sim.RunOptions{}); err != nil {
-			b.Fatal(err)
+	})
+	b.Run("pooled-signal-tokens", func(b *testing.B) {
+		s := sim.NewScheduler()
+		// Pre-boxed value: modules hold signal.Value interfaces already,
+		// so the kernel path proper adds no allocation per event.
+		var v signal.Value = signal.BitValue{B: signal.B1}
+		ctx := s.NewContext()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Post(sim.AcquireSignalToken(s.Now()+1, h, 0, v, "bench"))
+			if err := s.Run(ctx, sim.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 type nullHandler struct{}

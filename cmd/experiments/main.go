@@ -32,6 +32,7 @@ func main() {
 		width    = flag.Int("width", 16, "multiplier operand width")
 		patterns = flag.Int("patterns", 100, "number of random input patterns")
 		buffer   = flag.Int("buffer", 5, "remote-estimation pattern buffer size")
+		workers  = flag.Int("workers", 0, "worker pool size for experiment fan-out (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if !(*table1 || *table2 || *figure3 || *figure4 || *all) {
@@ -45,13 +46,13 @@ func main() {
 		runTable1(*width)
 	}
 	if *table2 {
-		runTable2(*width, *patterns, *buffer)
+		runTable2(*width, *patterns, *buffer, *workers)
 	}
 	if *figure3 {
-		runFigure3(*width, *patterns)
+		runFigure3(*width, *patterns, *workers)
 	}
 	if *figure4 {
-		runFigure4()
+		runFigure4(*workers)
 	}
 }
 
@@ -79,11 +80,12 @@ func runTable1(width int) {
 	fmt.Println()
 }
 
-func runTable2(width, patterns, buffer int) {
+func runTable2(width, patterns, buffer, workers int) {
 	cfg := core.DefaultConfig()
 	cfg.Width = width
 	cfg.Patterns = patterns
 	cfg.BufferSize = buffer
+	cfg.Workers = workers
 	rows, err := core.RunTable2(cfg)
 	if err != nil {
 		fatal(err)
@@ -115,10 +117,11 @@ func scenarioName(r *core.Result) string {
 	return r.Scenario.String()
 }
 
-func runFigure3(width, patterns int) {
+func runFigure3(width, patterns, workers int) {
 	cfg := core.DefaultConfig()
 	cfg.Width = width
 	cfg.Patterns = patterns
+	cfg.Workers = workers
 	points, err := core.RunFigure3(cfg, nil)
 	if err != nil {
 		fatal(err)
@@ -133,8 +136,8 @@ func runFigure3(width, patterns int) {
 	fmt.Println()
 }
 
-func runFigure4() {
-	rep, err := core.RunFigure4()
+func runFigure4(workers int) {
+	rep, err := core.RunFigure4(workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -31,6 +31,7 @@ func main() {
 		count      = flag.Int("count", 32, "number of random patterns")
 		check      = flag.Bool("check", false, "cross-check against the flattened full-disclosure reference")
 		vcurve     = flag.Bool("curve", true, "print the cumulative coverage curve")
+		workers    = flag.Int("workers", 0, "worker pool size for injection fan-out (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 	}
 
 	vs := d.NewVirtual()
+	vs.Workers = *workers
 	list, err := vs.BuildFaultList()
 	if err != nil {
 		fatal(err)
@@ -109,7 +111,7 @@ func main() {
 			}
 			flatFaults = append(flatFaults, ff)
 		}
-		ref, err := fault.SerialSimulateFaults(d.Flat, flatFaults, tests)
+		ref, err := fault.SerialSimulateFaultsWorkers(d.Flat, flatFaults, tests, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -123,6 +123,10 @@ type (
 	SchedulerID = sim.SchedulerID
 	// Stats summarizes a completed run.
 	Stats = sim.Stats
+	// WorkerPool bounds parallel fan-outs (0 = one worker per CPU,
+	// 1 = serial); results merge in index order, so output is
+	// bit-identical at every worker count.
+	WorkerPool = sim.Pool
 )
 
 // Estimation framework.
@@ -193,9 +197,10 @@ type (
 
 // Testability constructors.
 var (
-	NewLocalTestability = fault.NewLocalTestability
-	NewVirtualSimulator = fault.NewVirtualSimulator
-	SerialFaultSimulate = fault.SerialSimulate
+	NewLocalTestability        = fault.NewLocalTestability
+	NewVirtualSimulator        = fault.NewVirtualSimulator
+	SerialFaultSimulate        = fault.SerialSimulate
+	SerialFaultSimulateWorkers = fault.SerialSimulateFaultsWorkers
 )
 
 // Distribution: providers, clients, remote components.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/ppp"
 	"repro/internal/signal"
+	"repro/internal/sim"
 )
 
 // Table1Row is one estimator of the paper's Table 1: the comparison of
@@ -199,17 +200,27 @@ func Table2Grid() []Table2Cell {
 }
 
 // RunTable2 regenerates Table 2 with the given base configuration (use
-// DefaultConfig for the paper's 100 patterns, buffer 5).
+// DefaultConfig for the paper's 100 patterns, buffer 5). The grid's cells
+// are independent full scenario runs — each builds its own design and
+// provider — so they execute on cfg.Workers workers, with results in grid
+// order. The emulated network latencies dominate each cell's wall-clock,
+// so concurrent cells barely perturb each other's timings.
 func RunTable2(cfg Config) ([]*Result, error) {
-	var out []*Result
-	for _, cell := range Table2Grid() {
+	grid := Table2Grid()
+	out := make([]*Result, len(grid))
+	err := sim.Pool{Workers: cfg.Workers}.For(len(grid), func(i int) error {
+		cell := grid[i]
 		c := cfg
 		c.Profile = cell.Profile
 		res, err := Run(cell.Scenario, c)
 		if err != nil {
-			return nil, fmt.Errorf("core: table2 %s/%s: %w", cell.Scenario, cell.Profile.Name, err)
+			return fmt.Errorf("core: table2 %s/%s: %w", cell.Scenario, cell.Profile.Name, err)
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -231,8 +242,9 @@ func RunFigure3(cfg Config, percents []int) ([]Figure3Point, error) {
 	if len(percents) == 0 {
 		percents = []int{1, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
-	var out []Figure3Point
-	for _, pct := range percents {
+	out := make([]Figure3Point, len(percents))
+	err := sim.Pool{Workers: cfg.Workers}.For(len(percents), func(i int) error {
+		pct := percents[i]
 		c := cfg
 		c.Profile = netsim.WAN
 		c.SkipCompute = true
@@ -242,14 +254,18 @@ func RunFigure3(cfg Config, percents []int) ([]Figure3Point, error) {
 		}
 		res, err := Run(EstimatorRemote, c)
 		if err != nil {
-			return nil, fmt.Errorf("core: figure3 at %d%%: %w", pct, err)
+			return fmt.Errorf("core: figure3 at %d%%: %w", pct, err)
 		}
-		out = append(out, Figure3Point{
+		out[i] = Figure3Point{
 			BufferPct: pct,
 			CPUTime:   res.CPUTime,
 			RealTime:  res.RealTime,
 			Calls:     res.Calls,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -266,8 +282,9 @@ type Figure4Report struct {
 }
 
 // RunFigure4 regenerates the Figure 4 narrative using the module-level
-// design and the virtual fault simulation protocol.
-func RunFigure4() (*Figure4Report, error) {
+// design and the virtual fault simulation protocol. workers bounds the
+// virtual simulator's injection fan-out (0 = one per CPU, 1 = serial).
+func RunFigure4(workers int) (*Figure4Report, error) {
 	d, err := fault.Figure4Design()
 	if err != nil {
 		return nil, err
@@ -278,6 +295,7 @@ func RunFigure4() (*Figure4Report, error) {
 		return nil, err
 	}
 	vs := d.NewVirtual()
+	vs.Workers = workers
 	list, err := vs.BuildFaultList()
 	if err != nil {
 		return nil, err

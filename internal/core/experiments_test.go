@@ -121,7 +121,7 @@ func TestFigure3MonotoneShape(t *testing.T) {
 }
 
 func TestFigure4Report(t *testing.T) {
-	rep, err := RunFigure4()
+	rep, err := RunFigure4(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,6 +146,54 @@ func TestFigure4Report(t *testing.T) {
 	}
 	if rep.CoverageAfter2 <= 0 || rep.CoverageAfter2 > 1 {
 		t.Errorf("coverage = %v", rep.CoverageAfter2)
+	}
+}
+
+func TestTable2ParallelPreservesGridOrder(t *testing.T) {
+	// The grid cells run on a worker pool; the returned rows must still
+	// line up with Table2Grid() positions regardless of completion order.
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 10
+	cfg.Workers = 4
+	rows, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := Table2Grid()
+	if len(rows) != len(grid) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(grid))
+	}
+	for i, cell := range grid {
+		if rows[i] == nil {
+			t.Fatalf("row %d missing", i)
+		}
+		if rows[i].Scenario != cell.Scenario {
+			t.Errorf("row %d: scenario %v, want %v", i, rows[i].Scenario, cell.Scenario)
+		}
+	}
+}
+
+func TestFigure3ParallelPreservesSweepOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 20
+	cfg.Workers = 4
+	percents := []int{5, 25, 100}
+	points, err := RunFigure3(cfg, percents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(percents) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, pct := range percents {
+		if points[i].BufferPct != pct {
+			t.Errorf("point %d: buffer %d%%, want %d%%", i, points[i].BufferPct, pct)
+		}
+		if points[i].Calls == 0 {
+			t.Errorf("point %d made no RMI calls", i)
+		}
 	}
 }
 

@@ -70,6 +70,12 @@ type Config struct {
 	// fault-injection tests interpose netsim.FaultyDialer here. nil uses
 	// the in-process pipe.
 	DialVia func(p *provider.Provider) func() (net.Conn, error)
+	// Workers bounds the concurrency of the experiment drivers that fan
+	// out over independent scenario runs (the Table 2 grid, the Figure 3
+	// sweep): 0 uses one worker per CPU, 1 runs the legacy serial order.
+	// Each scenario run builds its own design and provider, so runs cannot
+	// interfere; results are returned in grid order regardless.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental parameters.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/gate"
 	"repro/internal/signal"
@@ -103,6 +104,9 @@ type TestabilityService interface {
 type LocalTestability struct {
 	nl   *gate.Netlist
 	list *SymbolicList
+	// cacheMu guards cache: one service instance may be shared across
+	// hosts, and the virtual simulator queries hosts concurrently.
+	cacheMu sync.Mutex
 	// cache maps packed input words to computed tables; detection tables
 	// depend only on the input configuration, so the provider can serve
 	// repeated patterns (the paper's example: patterns 1100 and 1101 lead
@@ -140,6 +144,11 @@ func (lt *LocalTestability) DetectionTable(inputs []signal.Bit) (*DetectionTable
 		return nil, fmt.Errorf("fault: component %s has %d inputs, got %d",
 			lt.nl.Name, len(lt.nl.Inputs()), len(inputs))
 	}
+	// The whole computation runs under the lock: concurrent callers with
+	// the same pattern coalesce on one sweep, and the netlist's memoized
+	// build is never raced.
+	lt.cacheMu.Lock()
+	defer lt.cacheMu.Unlock()
 	key := packBits(inputs)
 	if dt, ok := lt.cache[key]; ok {
 		return dt, nil

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+// runWithWorkers builds a fresh instance of the design via build and runs
+// virtual fault simulation with the given worker count.
+func runWithWorkers(t *testing.T, build func() (*IPDesign, error), patterns [][]signal.Bit, workers int) *Result {
+	t.Helper()
+	d, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := d.NewVirtual()
+	vs.Workers = workers
+	res, err := vs.Run(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireIdenticalResults asserts two Results are byte-identical: total,
+// the detection map (fault → first pattern), and the ORDER of every
+// per-pattern detection list.
+func requireIdenticalResults(t *testing.T, serial, parallel *Result) {
+	t.Helper()
+	if serial.Total != parallel.Total {
+		t.Errorf("Total: serial %d, parallel %d", serial.Total, parallel.Total)
+	}
+	if !reflect.DeepEqual(serial.Detected, parallel.Detected) {
+		t.Errorf("Detected maps differ:\n  serial:   %v\n  parallel: %v", serial.Detected, parallel.Detected)
+	}
+	if !reflect.DeepEqual(serial.PerPattern, parallel.PerPattern) {
+		t.Errorf("PerPattern order differs:\n  serial:   %v\n  parallel: %v", serial.PerPattern, parallel.PerPattern)
+	}
+}
+
+// TestVirtualDeterministicAcrossWorkerCounts is the parallel engine's
+// headline contract: the Result of a virtual fault simulation — including
+// the order of every per-pattern fault list — must be byte-identical for
+// any worker count. Runs under -race in CI, so it also shakes out data
+// races in the concurrent detection-table and injection fan-outs.
+func TestVirtualDeterministicAcrossWorkerCounts(t *testing.T) {
+	designs := []struct {
+		name  string
+		build func() (*IPDesign, error)
+		nIn   int
+	}{
+		{"figure4", Figure4Design, 4},
+		{"oneIP", func() (*IPDesign, error) { return RandomIPDesign(15, 3) }, 5},
+		{"twoIP", func() (*IPDesign, error) { return RandomTwoIPDesign(12, 2) }, 4},
+	}
+	for _, dc := range designs {
+		t.Run(dc.name, func(t *testing.T) {
+			patterns := exhaustivePatterns(dc.nIn)
+			serial := runWithWorkers(t, dc.build, patterns, 1)
+			for _, workers := range []int{2, 8} {
+				parallel := runWithWorkers(t, dc.build, patterns, workers)
+				requireIdenticalResults(t, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestVirtualDeterministicWithBogusProvider covers the adversarial case:
+// a provider whose detection-table rows overlap and name unpublished
+// faults. The merge step re-filters each row's original fault list in
+// serial order, so even here the Result must not depend on worker count.
+func TestVirtualDeterministicWithBogusProvider(t *testing.T) {
+	build := func() (*IPDesign, error) {
+		d, err := Figure4Design()
+		if err != nil {
+			return nil, err
+		}
+		d.Hosts[0].Service = bogusService{}
+		return d, nil
+	}
+	patterns := exhaustivePatterns(4)
+	serial := runWithWorkers(t, build, patterns, 1)
+	parallel := runWithWorkers(t, build, patterns, 8)
+	requireIdenticalResults(t, serial, parallel)
+}
+
+// stateLens returns the per-scheduler state table size of every leaf
+// module that exposes one.
+func stateLens(d *IPDesign) map[string]int {
+	out := make(map[string]int)
+	for _, m := range d.Circuit.Leaves() {
+		if sl, ok := m.(interface {
+			HandlerName() string
+			StateLen() int
+		}); ok {
+			out[sl.HandlerName()] = sl.StateLen()
+		}
+	}
+	return out
+}
+
+// TestVirtualRunReleasesAllState is the state-release regression test: a
+// Run spins up hundreds of single-use schedulers (one per fault-free run
+// and one per injection), and every one of them must release its module
+// state and primary-output history — otherwise the per-scheduler LUTs
+// grow without bound across a long fault-simulation campaign.
+func TestVirtualRunReleasesAllState(t *testing.T) {
+	d, err := Figure4Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := stateLens(d)
+	for name, n := range baseline {
+		if n != 0 {
+			t.Fatalf("module %s starts with %d state entries", name, n)
+		}
+	}
+	vs := d.NewVirtual()
+	vs.Workers = 4
+	if _, err := vs.Run(exhaustivePatterns(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateLens(d); !reflect.DeepEqual(baseline, got) {
+		t.Errorf("module state not back to baseline after Run:\n  before: %v\n  after:  %v", baseline, got)
+	}
+	for _, po := range d.Outputs {
+		if n := po.HistoryCount(); n != 0 {
+			t.Errorf("output %s still holds %d scheduler histories after Run", po.ModuleName(), n)
+		}
+	}
+}
+
+// failingService errors on every detection-table query, driving Run down
+// its error path mid-pattern.
+type failingService struct{}
+
+func (failingService) FaultList() ([]string, error) { return []string{"f_sa0"}, nil }
+func (failingService) DetectionTable([]signal.Bit) (*DetectionTable, error) {
+	return nil, errors.New("provider down")
+}
+
+// TestVirtualRunReleasesHistoriesOnError: the fault-free run's history is
+// recorded before the detection-table query fails, so an erroring Run
+// used to leak it permanently. The deferred cleanup must reclaim it.
+func TestVirtualRunReleasesHistoriesOnError(t *testing.T) {
+	d, err := Figure4Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Hosts[0].Service = failingService{}
+	vs := d.NewVirtual()
+	if _, err := vs.Run(exhaustivePatterns(4)); err == nil {
+		t.Fatal("failing provider not reported")
+	}
+	for _, po := range d.Outputs {
+		if n := po.HistoryCount(); n != 0 {
+			t.Errorf("output %s leaked %d scheduler histories on the error path", po.ModuleName(), n)
+		}
+	}
+}
+
+// TestSerialSimulateWorkersEquivalence: the flat reference simulator must
+// also return byte-identical Results at any worker count.
+func TestSerialSimulateWorkersEquivalence(t *testing.T) {
+	d, err := RandomTwoIPDesign(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Collapse(d.Flat)
+	patterns := exhaustivePatterns(4)
+	serial, err := SerialSimulateFaultsWorkers(d.Flat, faults, patterns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := SerialSimulateFaultsWorkers(d.Flat, faults, patterns, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalResults(t, serial, parallel)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gate"
 	"repro/internal/signal"
+	"repro/internal/sim"
 )
 
 // Result summarizes a flat (full-disclosure) fault simulation run.
@@ -53,8 +54,19 @@ func SerialSimulate(nl *gate.Netlist, patterns [][]signal.Bit) (*Result, error) 
 // SerialSimulateFaults is SerialSimulate over an explicit target fault
 // list instead of the netlist's own collapsed universe — used to compare
 // virtual fault simulation against the flattened reference on exactly the
-// component faults the provider published.
+// component faults the provider published. The per-pattern injection loop
+// fans out over one worker per CPU; call SerialSimulateFaultsWorkers to
+// bound it (workers=1 reproduces the historical fully serial loop).
 func SerialSimulateFaults(nl *gate.Netlist, reps []gate.Fault, patterns [][]signal.Bit) (*Result, error) {
+	return SerialSimulateFaultsWorkers(nl, reps, patterns, 0)
+}
+
+// SerialSimulateFaultsWorkers runs the flat reference simulation with a
+// bounded worker pool. Within one pattern every live fault's injection is
+// independent (each worker owns a private evaluator), and the verdicts are
+// merged in fault-list order, so the Result is bit-identical for any
+// worker count.
+func SerialSimulateFaultsWorkers(nl *gate.Netlist, reps []gate.Fault, patterns [][]signal.Bit, workers int) (*Result, error) {
 	res := &Result{
 		Total:      len(reps),
 		Detected:   make(map[string]int),
@@ -64,33 +76,51 @@ func SerialSimulateFaults(nl *gate.Netlist, reps []gate.Fault, patterns [][]sign
 	if err != nil {
 		return nil, err
 	}
-	faulty, err := nl.NewEvaluator()
-	if err != nil {
-		return nil, err
+	pool := sim.Pool{Workers: workers}
+	// Evaluators are not concurrency-safe, so each worker gets its own;
+	// they must be built serially here because NewEvaluator memoizes the
+	// netlist's build step.
+	evs := make([]*gate.Evaluator, pool.Size())
+	for i := range evs {
+		ev, err := nl.NewEvaluator()
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
 	}
 	alive := append([]gate.Fault(nil), reps...)
+	verdicts := make([]bool, len(alive))
 	for pi, p := range patterns {
 		goodOut, err := golden.Eval(p)
 		if err != nil {
 			return nil, fmt.Errorf("fault: pattern %d: %w", pi, err)
 		}
 		good := append([]signal.Bit(nil), goodOut...)
-		var next []gate.Fault
-		for _, f := range alive {
+		verdicts = verdicts[:len(alive)]
+		err = pool.ForWorker(len(alive), func(worker, i int) error {
+			faulty := evs[worker]
 			faulty.ClearFaults()
-			faulty.SetFault(f)
+			faulty.SetFault(alive[i])
 			badOut, err := faulty.Eval(p)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			detected := false
-			for i := range good {
-				if good[i].Known() && badOut[i].Known() && good[i] != badOut[i] {
-					detected = true
+			verdicts[i] = false
+			for j := range good {
+				if good[j].Known() && badOut[j].Known() && good[j] != badOut[j] {
+					verdicts[i] = true
 					break
 				}
 			}
-			if detected {
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Merge in fault-list order — the order the serial loop recorded.
+		var next []gate.Fault
+		for i, f := range alive {
+			if verdicts[i] {
 				sym := f.Symbol(nl)
 				res.Detected[sym] = pi
 				res.PerPattern[pi] = append(res.PerPattern[pi], sym)

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/module"
 	"repro/internal/signal"
@@ -67,6 +68,14 @@ type VirtualSimulator struct {
 	Stats VirtualStats
 	// EventLimit bounds each internal simulation run (0 = kernel default).
 	EventLimit uint64
+	// Workers bounds the concurrency of the per-pattern fan-out: the
+	// detection-table queries to all hosts and the per-row injection runs.
+	// 0 uses one worker per CPU, 1 reproduces the serial legacy path.
+	// Every injection already runs on a fresh single-use scheduler, so
+	// state isolation — not save/restore — guarantees non-interference,
+	// and results are merged in host/row order, making Result bit-identical
+	// across worker counts.
+	Workers int
 }
 
 // NewVirtualSimulator returns a virtual fault simulator over the design.
@@ -138,20 +147,20 @@ func (vs *VirtualSimulator) controller(pattern []signal.Bit) *sim.Controller {
 			if dst == nil {
 				continue
 			}
-			ctx.Post(&sim.SignalToken{
-				T:     1,
-				Dst:   dst.Owner(),
-				Port:  dst.Index,
-				Value: signal.BitValue{B: pattern[i]},
-				Src:   "PI",
-			})
+			ctx.Post(sim.AcquireSignalToken(1, dst.Owner(), dst.Index, signal.BitValue{B: pattern[i]}, "PI"))
 		}
 	}
 	return c
 }
 
+// pool returns the worker pool bounding this simulator's fan-outs.
+func (vs *VirtualSimulator) pool() sim.Pool { return sim.Pool{Workers: vs.Workers} }
+
 // finalOutputs reads the settled value of every primary output for one
-// scheduler's run (nil entries mean the output was never driven).
+// scheduler's run (nil entries mean the output was never driven), then
+// releases that scheduler's history: each internal run is single-use and
+// its outputs are consumed exactly once, so holding the observations any
+// longer only grows the per-Run memory footprint.
 func (vs *VirtualSimulator) finalOutputs(id sim.SchedulerID) []signal.Value {
 	out := make([]signal.Value, len(vs.outputs))
 	for i, po := range vs.outputs {
@@ -159,6 +168,7 @@ func (vs *VirtualSimulator) finalOutputs(id sim.SchedulerID) []signal.Value {
 		if len(h) > 0 {
 			out[i] = h[len(h)-1].Value
 		}
+		po.ReleaseHistory(id)
 	}
 	return out
 }
@@ -204,13 +214,7 @@ func (f *forcer) HandleToken(ctx *sim.Context, tok sim.Token) {
 		if peer == nil {
 			continue
 		}
-		ctx.Post(&sim.SignalToken{
-			T:     ctx.Now() + 1,
-			Dst:   peer.Owner(),
-			Port:  peer.Index,
-			Value: signal.BitValue{B: f.pattern.Bit(i)},
-			Src:   f.HandlerName(),
-		})
+		ctx.Post(sim.AcquireSignalToken(ctx.Now()+1, peer.Owner(), peer.Index, signal.BitValue{B: f.pattern.Bit(i)}, f.HandlerName()))
 	}
 }
 
@@ -249,6 +253,9 @@ func (vs *VirtualSimulator) Run(patterns [][]signal.Bit) (*Result, error) {
 		}
 		m[gf.name] = true
 	}
+	// Histories of successful runs are released as their outputs are
+	// consumed; the deferred sweep covers runs abandoned on error paths.
+	defer vs.clearHistories()
 	for pi, pattern := range patterns {
 		if len(pattern) != len(vs.inputs) {
 			return nil, fmt.Errorf("fault: pattern %d has %d bits, design has %d inputs",
@@ -268,12 +275,27 @@ func (vs *VirtualSimulator) Run(patterns [][]signal.Bit) (*Result, error) {
 			break
 		}
 	}
-	vs.clearHistories()
 	return res, nil
 }
 
+// injectionJob is one row of one host's detection table scheduled for an
+// injection run. rowFaults keeps the provider's ORIGINAL fault list for
+// the row: the merge step re-filters it against the live set in serial
+// order, so the recorded detections are bit-identical to the serial path
+// even for degenerate providers whose rows overlap.
+type injectionJob struct {
+	host      *Host
+	output    signal.Word
+	rowFaults []string
+	detected  bool
+}
+
 // runPattern performs the fault-free simulation, detection-table
-// exchange, and injection runs for one test pattern.
+// exchange, and injection runs for one test pattern. The detection-table
+// queries (one RMI round trip per host) and the injection runs (one fresh
+// scheduler per erroneous row) are independent, so both fan out over the
+// simulator's worker pool; detections are then merged in the serial
+// host/row order.
 func (vs *VirtualSimulator) runPattern(pi int, pattern []signal.Bit, alive map[*Host]map[string]bool, res *Result) error {
 	// Fault-free simulation, capturing each host's settled input values.
 	ctrl := vs.controller(pattern)
@@ -291,40 +313,79 @@ func (vs *VirtualSimulator) runPattern(pi int, pattern []signal.Bit, alive map[*
 	vs.Stats.FaultFreeRuns++
 	golden := vs.finalOutputs(stats.Scheduler)
 
+	// Phase A: fetch the detection tables of every host that still has
+	// live faults, concurrently — each query goes to a different provider.
+	live := make([]*Host, 0, len(vs.hosts))
 	for _, h := range vs.hosts {
-		if len(alive[h]) == 0 {
-			continue
+		if len(alive[h]) > 0 {
+			live = append(live, h)
 		}
-		inBits := hostInputBits(captured[h])
-		dt, err := h.Service.DetectionTable(inBits)
+	}
+	tables := make([]*DetectionTable, len(live))
+	var tableCalls atomic.Int64
+	err := vs.pool().For(len(live), func(i int) error {
+		h := live[i]
+		dt, err := h.Service.DetectionTable(hostInputBits(captured[h]))
 		if err != nil {
 			return fmt.Errorf("fault: detection table of %s: %w", h.Module.ModuleName(), err)
 		}
-		vs.Stats.DetectionTableCalls++
-		for _, row := range dt.Rows {
-			// Only rows still carrying live faults are worth injecting.
-			var liveRow []string
+		tableCalls.Add(1)
+		tables[i] = dt
+		return nil
+	})
+	vs.Stats.DetectionTableCalls += int(tableCalls.Load())
+	if err != nil {
+		return err
+	}
+
+	// Phase B: schedule one injection per row still carrying live faults.
+	// The live check is a snapshot — for well-formed providers the rows of
+	// a table partition the host's faults, so the snapshot agrees exactly
+	// with the serial one-row-at-a-time filter.
+	var jobs []injectionJob
+	for i, h := range live {
+		for _, row := range tables[i].Rows {
+			hasLive := false
 			for _, f := range row.Faults {
 				if alive[h][f] {
-					liveRow = append(liveRow, f)
+					hasLive = true
+					break
 				}
 			}
-			if len(liveRow) == 0 {
+			if hasLive {
+				jobs = append(jobs, injectionJob{host: h, output: row.Output, rowFaults: row.Faults})
+			}
+		}
+	}
+	var injections atomic.Int64
+	err = vs.pool().For(len(jobs), func(i int) error {
+		detected, err := vs.inject(pattern, jobs[i].host, jobs[i].output, golden, &injections)
+		if err != nil {
+			return err
+		}
+		jobs[i].detected = detected
+		return nil
+	})
+	vs.Stats.InjectionRuns += int(injections.Load())
+	if err != nil {
+		return err
+	}
+
+	// Merge in serial host/row order, re-filtering each row against the
+	// live set as of this point in the order — exactly what the serial
+	// loop saw — so Result is byte-identical for any worker count.
+	for _, job := range jobs {
+		if !job.detected {
+			continue
+		}
+		for _, f := range job.rowFaults {
+			if !alive[job.host][f] {
 				continue
 			}
-			detected, err := vs.inject(pattern, h, row.Output, golden)
-			if err != nil {
-				return err
-			}
-			if !detected {
-				continue
-			}
-			for _, f := range liveRow {
-				delete(alive[h], f)
-				q := globalFault{host: h, name: f}.qualified()
-				res.Detected[q] = pi
-				res.PerPattern[pi] = append(res.PerPattern[pi], q)
-			}
+			delete(alive[job.host], f)
+			q := globalFault{host: job.host, name: f}.qualified()
+			res.Detected[q] = pi
+			res.PerPattern[pi] = append(res.PerPattern[pi], q)
 		}
 	}
 	return nil
@@ -334,7 +395,7 @@ func (vs *VirtualSimulator) runPattern(pi int, pattern []signal.Bit, alive map[*
 // is overridden to force the erroneous output configuration, the current
 // test pattern is replayed at the primary inputs, and the design's
 // primary outputs are compared against the fault-free run.
-func (vs *VirtualSimulator) inject(pattern []signal.Bit, h *Host, bad signal.Word, golden []signal.Value) (bool, error) {
+func (vs *VirtualSimulator) inject(pattern []signal.Bit, h *Host, bad signal.Word, golden []signal.Value, counter *atomic.Int64) (bool, error) {
 	ctrl := vs.controller(pattern)
 	f := &forcer{host: h, pattern: bad}
 	stats := ctrl.Start(nil, func(sched *sim.Scheduler) {
@@ -343,7 +404,7 @@ func (vs *VirtualSimulator) inject(pattern []signal.Bit, h *Host, bad signal.Wor
 	if stats.Err != nil {
 		return false, stats.Err
 	}
-	vs.Stats.InjectionRuns++
+	counter.Add(1)
 	faulty := vs.finalOutputs(stats.Scheduler)
 	return outputsDiffer(golden, faulty), nil
 }

@@ -199,6 +199,23 @@ func (m *PrimaryOutput) LastHistory() []Observation {
 	return nil
 }
 
+// ReleaseHistory discards the observations of one scheduler once its run's
+// outputs have been consumed, so long-running fault simulations (one fresh
+// scheduler per injection) do not accumulate histories across injections.
+func (m *PrimaryOutput) ReleaseHistory(id sim.SchedulerID) {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	delete(m.history, id)
+}
+
+// HistoryCount returns the number of schedulers with recorded
+// observations — the leak metric regression tests watch.
+func (m *PrimaryOutput) HistoryCount() int {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	return len(m.history)
+}
+
 // ClearHistory discards all recorded observations.
 func (m *PrimaryOutput) ClearHistory() {
 	m.histMu.Lock()

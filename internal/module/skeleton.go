@@ -167,6 +167,12 @@ func (sk *Skeleton) ResetState(ctx *sim.Context) {
 // ReleaseState implements sim.StateHolder.
 func (sk *Skeleton) ReleaseState(id sim.SchedulerID) { sk.state.Delete(id) }
 
+// StateLen returns the number of schedulers currently holding run state in
+// the module's state table — the leak-audit hook: after every simulation
+// of a design completes, each module's StateLen must return to its
+// pre-run baseline.
+func (sk *Skeleton) StateLen() int { return sk.state.Len() }
+
 // HandleToken implements sim.Handler: it dispatches signal tokens to the
 // behavior, estimation tokens to the selected estimators, and self and
 // control tokens to the corresponding optional behaviors.
@@ -383,13 +389,7 @@ func (c *Ctx) Drive(port *Port, value signal.Value, delay sim.Time) {
 	if peer == nil {
 		return
 	}
-	c.Sim.Post(&sim.SignalToken{
-		T:     c.Sim.Now() + delay,
-		Dst:   peer.owner,
-		Port:  peer.Index,
-		Value: value,
-		Src:   c.sk.name,
-	})
+	c.Sim.Post(sim.AcquireSignalToken(c.Sim.Now()+delay, peer.owner, peer.Index, value, c.sk.name))
 }
 
 // ScheduleSelf posts a self-trigger token for the module.

@@ -1,7 +1,5 @@
 package sim
 
-import "sync"
-
 // Stats summarizes one completed simulation run.
 type Stats struct {
 	Scheduler SchedulerID
@@ -73,24 +71,28 @@ func (c *Controller) Start(setup any, configure func(*Scheduler)) Stats {
 // supplies the per-run setup (may return nil); configure may adjust each
 // scheduler. The kernel guarantees the runs cannot interfere.
 func (c *Controller) StartConcurrent(n int, setups func(i int) any, configure func(i int, s *Scheduler)) []Stats {
+	return c.StartPool(Pool{Workers: n}, n, setups, configure)
+}
+
+// StartPool is StartConcurrent with a bounded worker pool: the n runs are
+// executed on at most pool.Size() goroutines, and the returned Stats
+// slice is ordered by run index regardless of how the pool interleaved
+// the runs. This is the primitive every fan-out site in the system builds
+// on (injection runs, scenario grids, parameter sweeps).
+func (c *Controller) StartPool(pool Pool, n int, setups func(i int) any, configure func(i int, s *Scheduler)) []Stats {
 	stats := make([]Stats, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			var setup any
-			if setups != nil {
-				setup = setups(i)
-			}
-			var cfg func(*Scheduler)
-			if configure != nil {
-				cfg = func(s *Scheduler) { configure(i, s) }
-			}
-			stats[i] = c.Start(setup, cfg)
-		}(i)
-	}
-	wg.Wait()
+	pool.For(n, func(i int) error {
+		var setup any
+		if setups != nil {
+			setup = setups(i)
+		}
+		var cfg func(*Scheduler)
+		if configure != nil {
+			cfg = func(s *Scheduler) { configure(i, s) }
+		}
+		stats[i] = c.Start(setup, cfg)
+		return nil
+	})
 	return stats
 }
 

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolSize(t *testing.T) {
+	if got := (Pool{}).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default size = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Pool{Workers: 3}).Size(); got != 3 {
+		t.Errorf("size = %d, want 3", got)
+	}
+}
+
+func TestPoolForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		seen := make([]atomic.Int32, 100)
+		err := Pool{Workers: workers}.For(100, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if n := seen[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestPoolForZeroItems(t *testing.T) {
+	called := false
+	if err := (Pool{Workers: 4}).For(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+// TestPoolForLowestErrorWins: the error reported must be the one of the
+// lowest failing index, matching what a serial loop would have returned
+// first — this keeps error behavior identical across worker counts.
+func TestPoolForLowestErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 8} {
+		err := Pool{Workers: workers}.For(50, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 31:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestPoolForWorkerIdentity: worker indices must stay within [0, size) and
+// each index must be owned by exactly one goroutine at a time, so callers
+// can hand each worker private scratch space (e.g. a gate evaluator).
+func TestPoolForWorkerIdentity(t *testing.T) {
+	const workers = 4
+	busy := make([]atomic.Int32, workers)
+	err := Pool{Workers: workers}.ForWorker(200, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker %d out of range", worker)
+		}
+		if busy[worker].Add(1) != 1 {
+			t.Errorf("worker %d reentered concurrently", worker)
+		}
+		busy[worker].Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolSerialRunsInline: Workers=1 must run on the caller's goroutine
+// in index order — the legacy serial semantics some callers rely on.
+func TestPoolSerialRunsInline(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	err := Pool{Workers: 1}.For(10, func(i int) error {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+// TestPoolSerialStopsAtFirstError: the serial path must not run items
+// after a failure, exactly like the historical loops it replaces.
+func TestPoolSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := Pool{Workers: 1}.For(10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran = %d items, want 4", ran)
+	}
+}
+
+// TestPoolBoundedConcurrency: no more than Workers goroutines may be in
+// fn simultaneously.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := Pool{Workers: workers}.For(100, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d > %d workers", p, workers)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -28,24 +27,67 @@ type scheduledToken struct {
 	seq uint64
 }
 
-// tokenQueue is a binary min-heap ordered by (time, seq).
+// tokenQueue is a binary min-heap ordered by (time, seq), with inlined
+// index-based sift operations. The container/heap interface funnels every
+// element through `any` on Push/Pop, which boxes the scheduledToken — one
+// heap allocation per posted token on the kernel's hottest path; the
+// direct sift-up/sift-down below keeps the element a plain struct.
 type tokenQueue []scheduledToken
 
-func (q tokenQueue) Len() int { return len(q) }
-func (q tokenQueue) Less(i, j int) bool {
+func (q tokenQueue) less(i, j int) bool {
 	if q[i].tok.When() != q[j].tok.When() {
 		return q[i].tok.When() < q[j].tok.When()
 	}
 	return q[i].seq < q[j].seq
 }
-func (q tokenQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *tokenQueue) Push(x any)   { *q = append(*q, x.(scheduledToken)) }
-func (q *tokenQueue) Pop() any {
+
+// siftUp restores the heap property after appending at index i.
+func (q tokenQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (q tokenQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return
+		}
+		if right := kid + 1; right < n && q.less(right, kid) {
+			kid = right
+		}
+		if !q.less(kid, i) {
+			return
+		}
+		q[i], q[kid] = q[kid], q[i]
+		i = kid
+	}
+}
+
+// push inserts a scheduled token.
+func (q *tokenQueue) push(it scheduledToken) {
+	*q = append(*q, it)
+	q.siftUp(len(*q) - 1)
+}
+
+// popMin removes and returns the earliest (time, seq) token.
+func (q *tokenQueue) popMin() scheduledToken {
 	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = scheduledToken{}
-	*q = old[:n-1]
+	it := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = scheduledToken{} // release the Token for GC
+	next := old[:n]
+	*q = next
+	next.siftDown(0)
 	return it
 }
 
@@ -131,7 +173,7 @@ func (s *Scheduler) Post(tok Token) {
 		panic(fmt.Sprintf("sim: token scheduled at %d, before current time %d", tok.When(), s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, scheduledToken{tok: tok, seq: s.seq})
+	s.queue.push(scheduledToken{tok: tok, seq: s.seq})
 	if len(s.queue) > s.maxQueue {
 		s.maxQueue = len(s.queue)
 	}
@@ -186,6 +228,9 @@ func (s *Scheduler) deliver(ctx *Context, tok Token) {
 		}
 	}
 	dst.HandleToken(ctx, tok)
+	if st, ok := tok.(*SignalToken); ok {
+		st.recycle()
+	}
 }
 
 // RunOptions bounds a scheduler run.
@@ -223,7 +268,7 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 		}
 		// Drain the full instant.
 		for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
-			it := heap.Pop(&s.queue).(scheduledToken)
+			it := s.queue.popMin()
 			if budget == 0 {
 				return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
 			}

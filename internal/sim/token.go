@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/signal"
 )
@@ -61,6 +62,39 @@ type SignalToken struct {
 	Port  int          // index of the destination port on Dst
 	Value signal.Value // the new signal value
 	Src   string       // producing module, for traces
+
+	// pooled marks tokens drawn from the shared pool (AcquireSignalToken);
+	// the scheduler returns them after delivery.
+	pooled bool
+}
+
+// signalTokenPool recycles SignalTokens across simulation runs. Signal
+// tokens dominate the kernel's allocation profile — every port drive in
+// every concurrent scheduler creates one — and their lifetime is strictly
+// bounded by delivery, so pooling them removes the dominant per-event
+// allocation.
+var signalTokenPool = sync.Pool{New: func() any { return new(SignalToken) }}
+
+// AcquireSignalToken returns a SignalToken drawn from a process-wide pool.
+// The scheduler recycles pooled tokens automatically after delivery, so
+// two rules bind their users: the receiving handler must not retain the
+// token past HandleToken (copy the fields it needs), and the poster must
+// not re-post a token it has already posted. Hand-built &SignalToken{}
+// values remain valid and are never recycled.
+func AcquireSignalToken(t Time, dst Handler, port int, v signal.Value, src string) *SignalToken {
+	tok := signalTokenPool.Get().(*SignalToken)
+	*tok = SignalToken{T: t, Dst: dst, Port: port, Value: v, Src: src, pooled: true}
+	return tok
+}
+
+// recycle returns a pooled token for reuse; hand-built tokens are left
+// alone.
+func (t *SignalToken) recycle() {
+	if !t.pooled {
+		return
+	}
+	*t = SignalToken{}
+	signalTokenPool.Put(t)
 }
 
 // When returns the scheduled time.

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/signal"
+)
+
+// recordingHandler copies the fields of every SignalToken it receives —
+// the contract for handlers of pooled tokens (never retain the token).
+type recordingHandler struct {
+	ports  []int
+	values []signal.Value
+}
+
+func (*recordingHandler) HandlerName() string { return "rec" }
+func (h *recordingHandler) HandleToken(_ *Context, tok Token) {
+	st := tok.(*SignalToken)
+	h.ports = append(h.ports, st.Port)
+	h.values = append(h.values, st.Value)
+}
+
+// TestPooledSignalTokenDelivery: pooled tokens must deliver exactly the
+// fields they were acquired with, and recycling across many events must
+// never cross-contaminate deliveries.
+func TestPooledSignalTokenDelivery(t *testing.T) {
+	h := &recordingHandler{}
+	s := NewScheduler()
+	const n = 100
+	for i := 0; i < n; i++ {
+		var b signal.Bit
+		if i%2 == 1 {
+			b = signal.B1
+		}
+		s.Post(AcquireSignalToken(Time(i+1), h, i, signal.BitValue{B: b}, "src"))
+	}
+	if err := s.Run(nil, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.ports) != n {
+		t.Fatalf("delivered %d tokens, want %d", len(h.ports), n)
+	}
+	for i := 0; i < n; i++ {
+		if h.ports[i] != i {
+			t.Fatalf("delivery %d carried port %d", i, h.ports[i])
+		}
+		want := i%2 == 1
+		if got := h.values[i].(signal.BitValue).B == signal.B1; got != want {
+			t.Fatalf("delivery %d carried value %v", i, h.values[i])
+		}
+	}
+}
+
+// TestHandBuiltSignalTokenSurvivesDelivery: tokens built with a plain
+// composite literal are not recycled — callers that retain them (tests,
+// traces) must find the fields intact after the run.
+func TestHandBuiltSignalTokenSurvivesDelivery(t *testing.T) {
+	h := &recordingHandler{}
+	s := NewScheduler()
+	tok := &SignalToken{T: 5, Dst: h, Port: 3, Value: signal.BitValue{B: signal.B1}, Src: "keep"}
+	s.Post(tok)
+	if err := s.Run(nil, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tok.T != 5 || tok.Port != 3 || tok.Src != "keep" || tok.Dst != Handler(h) {
+		t.Errorf("hand-built token mutated after delivery: %+v", tok)
+	}
+}
