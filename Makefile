@@ -3,7 +3,7 @@ FUZZTIME ?= 15s
 BENCHTIME ?= 1s
 BENCHDATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race fuzz vet bench smoke-bench ci clean
+.PHONY: all build test race fuzz vet lint vuln bench smoke-bench ci clean
 
 all: build test
 
@@ -19,6 +19,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the gocad-lint suite machine-checks
+# the kernel's determinism, token-lifecycle and RMI-safety invariants
+# (DESIGN.md §8). Zero findings is a hard CI gate.
+lint:
+	$(GO) run ./cmd/gocad-lint ./...
+
+# Non-blocking dependency-vulnerability advisory; skipped silently when
+# govulncheck is not installed (it is not vendored).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck: advisory findings above (non-blocking)"; \
+	else \
+		echo "govulncheck not installed; skipping advisory scan"; \
+	fi
 
 # Short deterministic fuzz smoke over the RMI wire codec. Each target
 # must run in its own invocation (go test allows one -fuzz at a time).
@@ -37,7 +52,7 @@ bench:
 smoke-bench:
 	$(GO) test -run='^$$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
 
-ci: build vet test race fuzz smoke-bench
+ci: build vet lint test race fuzz smoke-bench vuln
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,9 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> gocad-lint ./... (DESIGN.md §8 invariants)"
+go run ./cmd/gocad-lint ./...
+
 echo "==> go test ./..."
 go test ./...
 
@@ -23,5 +26,12 @@ go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
+
+echo "==> govulncheck advisory (non-blocking)"
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "govulncheck: advisory findings above (non-blocking)"
+else
+	echo "govulncheck not installed; skipping advisory scan"
+fi
 
 echo "==> CI green"

@@ -1,0 +1,64 @@
+// Command gocad-lint runs the project's custom static-analysis suite —
+// the machine-checked form of the invariants DESIGN.md §8 documents:
+// simulation determinism, the pooled-token lifecycle, history release,
+// no RMI under locks, and no discarded remote errors.
+//
+// Usage:
+//
+//	gocad-lint [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// command prints one line per finding (file:line:col: message [analyzer])
+// and exits 1 if anything was found, 2 on operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/registry"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gocad-lint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the gocad static-analysis suite (see DESIGN.md §8).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gocad-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gocad-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gocad-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -58,7 +58,9 @@ func main() {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	fmt.Println("shutting down")
-	p.Close()
+	if err := p.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gocad-server: shutdown:", err)
+	}
 }
 
 func fatal(err error) {

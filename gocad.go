@@ -291,6 +291,7 @@ var (
 	SequentialCounter     = gate.SequentialCounter
 	ScanFaultSimulate     = fault.ScanSimulate
 	RandomScanPatterns    = fault.RandomScanPatterns
+	ScanPatternsRand      = fault.RandomScanPatternsRand
 	BridgeFaultSimulate   = fault.SerialSimulateBridges
 	EnumerateBridgeFaults = fault.EnumerateBridges
 )
@@ -339,6 +340,7 @@ type (
 var (
 	ValidateDesign = module.Validate
 	DesignErrors   = module.Errors
-	GenerateTests  = fault.GenerateTests
-	C17            = gate.C17
+	GenerateTests     = fault.GenerateTests
+	GenerateTestsRand = fault.GenerateTestsRand
+	C17               = gate.C17
 )

@@ -16,14 +16,16 @@ import (
 type Connection struct {
 	Client *iplib.IPClient
 	Meter  *netsim.Meter
-	close  func()
+	close  func() error
 }
 
-// Close tears the session down.
-func (c *Connection) Close() {
+// Close tears the session down and reports any transport teardown
+// failure (already-dead links close cleanly).
+func (c *Connection) Close() error {
 	if c.close != nil {
-		c.close()
+		return c.close()
 	}
+	return nil
 }
 
 // Resilience bundles the transport-resilience knobs of a provider
@@ -100,7 +102,7 @@ func ConnectVia(p *provider.Provider, clientName string, profile netsim.Profile,
 	return &Connection{
 		Client: iplib.NewIPClient(rpc),
 		Meter:  meter,
-		close:  func() { rpc.Close() },
+		close:  rpc.Close,
 	}, nil
 }
 
@@ -126,6 +128,6 @@ func ConnectTCP(p *provider.Provider, clientName string, profile netsim.Profile)
 	return &Connection{
 		Client: iplib.NewIPClient(rpc),
 		Meter:  meter,
-		close:  func() { rpc.Close() },
+		close:  rpc.Close,
 	}, nil
 }

@@ -148,6 +148,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 	// Per-pattern CPU time of each model (measured).
 	timeModel := func(f func()) time.Duration {
 		const reps = 50
+		//lint:ignore simdeterminism Table 1's CPU column is a measurement of the host, not a simulation result; it never feeds signal values.
 		start := time.Now()
 		for i := 0; i < reps; i++ {
 			f()
@@ -309,13 +310,9 @@ func RunFigure4(workers int) (*Figure4Report, error) {
 		return nil, err
 	}
 	rep := &Figure4Report{FaultList: list, Table: dt, CoverageAfter2: res.Coverage()}
-	for f, pi := range res.Detected {
-		switch pi {
-		case 0:
-			rep.Detected1100 = append(rep.Detected1100, f)
-		case 1:
-			rep.Detected1101 = append(rep.Detected1101, f)
-		}
-	}
+	// PerPattern preserves detection order; ranging over the Detected map
+	// instead would shuffle the report between runs.
+	rep.Detected1100 = append([]string(nil), res.PerPattern[0]...)
+	rep.Detected1101 = append([]string(nil), res.PerPattern[1]...)
 	return rep, nil
 }

@@ -121,56 +121,79 @@ func (e *RemotePowerEstimator) Estimate(ec *estim.EvalContext) (estim.ParamValue
 	}
 	pattern := wordsToBits(words...)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("core: estimator %s used after Close", e.Name)
 	}
 	if e.degraded {
 		// Provider declared dead: serve the fallback estimator locally.
 		if e.Fallback != nil {
-			return e.Fallback.Estimate(ec)
+			v, err := e.Fallback.Estimate(ec)
+			e.mu.Unlock()
+			return v, err
 		}
+		e.mu.Unlock()
 		return estim.NullValue{}, nil
 	}
 	e.buf = append(e.buf, pattern)
+	var batch [][]signal.Bit
 	if len(e.buf) >= e.BufferSize {
-		e.flushLocked()
+		batch = e.takeBatchLocked()
 	}
+	e.mu.Unlock()
+	e.dispatchTaken(batch)
 	return estim.NullValue{}, nil
 }
 
-// flushLocked dispatches the buffered batch; the caller holds e.mu.
-func (e *RemotePowerEstimator) flushLocked() {
+// takeBatchLocked removes the pending batch from the buffer and
+// registers it in flight; the caller holds e.mu, and must hand the batch
+// to dispatchTaken after unlocking. The wg.Add happens here, under the
+// lock, so a concurrent Close cannot slip its wg.Wait between the take
+// and the dispatch.
+func (e *RemotePowerEstimator) takeBatchLocked() [][]signal.Bit {
 	if len(e.buf) == 0 {
-		return
+		return nil
 	}
 	batch := e.buf
 	e.buf = nil
 	e.sent += len(batch)
+	e.wg.Add(1)
+	return batch
+}
+
+// dispatchTaken runs one batch previously taken by takeBatchLocked and
+// balances its wg.Add. It must be called WITHOUT e.mu held: the batch is
+// a network round trip (potentially a whole retry-reconnect ladder), and
+// holding the lock across it would stall every Estimate call — the
+// lockheld-rmi invariant. A nil batch is a no-op.
+func (e *RemotePowerEstimator) dispatchTaken(batch [][]signal.Bit) {
+	if batch == nil {
+		return
+	}
 	if !e.Nonblocking {
-		vals, err := e.dispatchBatch(batch)
-		e.record(vals, err)
+		defer e.wg.Done()
+		e.recordBatch(e.dispatchBatch(batch))
 		return
 	}
 	if e.dispatch == nil {
 		// The power path has a native async stub; use it.
-		e.wg.Add(1)
 		e.inst.PowerBatchAsync(batch, e.SkipCompute, func(vals []float64, err error) {
 			defer e.wg.Done()
-			e.mu.Lock()
-			defer e.mu.Unlock()
-			e.record(vals, err)
+			e.recordBatch(vals, err)
 		})
 		return
 	}
-	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		vals, err := e.dispatch(batch, e.SkipCompute)
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		e.record(vals, err)
+		e.recordBatch(e.dispatch(batch, e.SkipCompute))
 	}()
+}
+
+// recordBatch takes the lock and records one completed batch.
+func (e *RemotePowerEstimator) recordBatch(vals []float64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recordLocked(vals, err)
 }
 
 // dispatchBatch runs one batch synchronously through the configured
@@ -182,10 +205,10 @@ func (e *RemotePowerEstimator) dispatchBatch(batch [][]signal.Bit) ([]float64, e
 	return e.inst.PowerBatch(batch, e.SkipCompute)
 }
 
-// record appends batch results; for nonblocking calls the caller holds
-// e.mu, for blocking calls it already does too. A batch lost to a dead
-// provider degrades the estimator instead of failing the run.
-func (e *RemotePowerEstimator) record(vals []float64, err error) {
+// recordLocked appends batch results; the caller holds e.mu. A batch
+// lost to a dead provider degrades the estimator instead of failing the
+// run.
+func (e *RemotePowerEstimator) recordLocked(vals []float64, err error) {
 	if err != nil {
 		if errors.Is(err, rmi.ErrProviderDead) {
 			e.lostBatches++
@@ -225,11 +248,13 @@ func (e *RemotePowerEstimator) Degraded() bool {
 // sees all values ("real time" in the scenarios includes this drain).
 func (e *RemotePowerEstimator) Close() error {
 	e.mu.Lock()
-	e.flushLocked()
+	batch := e.takeBatchLocked()
 	e.closed = true
 	e.mu.Unlock()
+	e.dispatchTaken(batch)
 	// The drain is the one nonblocking wait that DOES stall the caller:
 	// meter it so the CPU/real decomposition stays honest.
+	//lint:ignore simdeterminism the drain is metered wall time for the CPU/real report split; it never feeds signal values.
 	start := time.Now()
 	e.wg.Wait()
 	if m := e.inst.Meter(); m != nil {

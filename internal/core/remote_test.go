@@ -23,7 +23,7 @@ func bindMult(t *testing.T, width int) (*iplib.BoundInstance, *Connection) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(conn.Close)
+	t.Cleanup(func() { _ = conn.Close() })
 	inst, err := conn.Client.Bind("MultFastLowPower", width, nil)
 	if err != nil {
 		t.Fatal(err)

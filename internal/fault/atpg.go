@@ -26,7 +26,17 @@ type TestSet struct {
 // pass then removes patterns made redundant by later ones. The search
 // stops when full coverage is reached, after maxCandidates candidates, or
 // after 4·maxCandidates/5 consecutive useless candidates.
+//
+// The result is deterministic in the seed; callers that thread one
+// generator through several stages use GenerateTestsRand directly.
 func GenerateTests(nl *gate.Netlist, maxCandidates int, seed int64) (*TestSet, error) {
+	return GenerateTestsRand(nl, maxCandidates, rand.New(rand.NewSource(seed)))
+}
+
+// GenerateTestsRand is GenerateTests drawing candidates from the given
+// explicitly seeded generator — the sanctioned source of randomness in
+// kernel code (gocad-lint simdeterminism forbids the global one).
+func GenerateTestsRand(nl *gate.Netlist, maxCandidates int, r *rand.Rand) (*TestSet, error) {
 	if maxCandidates < 1 {
 		return nil, fmt.Errorf("fault: maxCandidates %d", maxCandidates)
 	}
@@ -42,7 +52,6 @@ func GenerateTests(nl *gate.Netlist, maxCandidates int, seed int64) (*TestSet, e
 	if err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(seed))
 	nIn := len(nl.Inputs())
 
 	alive := append([]gate.Fault(nil), reps...)

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math/rand"
+
 	"repro/internal/gate"
 	"repro/internal/signal"
 )
@@ -151,27 +153,28 @@ func knownDiff(a, b []signal.Bit) bool {
 }
 
 // RandomScanPatterns generates n pseudo-random full-scan tests for a
-// sequential circuit (deterministic in the seed).
+// sequential circuit (deterministic in the seed). Callers that thread
+// one generator through several stages use RandomScanPatternsRand.
 func RandomScanPatterns(seq *gate.Sequential, n int, seed int64) []ScanPattern {
-	// A tiny xorshift keeps this free of math/rand plumbing.
-	state := uint64(seed)*2654435761 + 1
-	next := func() uint64 {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return state
-	}
+	return RandomScanPatternsRand(seq, n, rand.New(rand.NewSource(seed)))
+}
+
+// RandomScanPatternsRand draws the scan-in states and capture inputs
+// from the given explicitly seeded generator — the sanctioned source of
+// randomness in kernel code (gocad-lint simdeterminism forbids the
+// global one).
+func RandomScanPatternsRand(seq *gate.Sequential, n int, r *rand.Rand) []ScanPattern {
 	out := make([]ScanPattern, n)
 	for i := range out {
 		st := make([]signal.Bit, seq.StateWidth())
 		for j := range st {
-			if next()&1 == 1 {
+			if r.Intn(2) == 1 {
 				st[j] = signal.B1
 			}
 		}
 		in := make([]signal.Bit, len(seq.PrimaryInputs()))
 		for j := range in {
-			if next()&1 == 1 {
+			if r.Intn(2) == 1 {
 				in[j] = signal.B1
 			}
 		}

@@ -1,0 +1,12 @@
+package histrelease_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/histrelease"
+)
+
+func TestHistoryRelease(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hist", "repro/internal/core/fixture", histrelease.Analyzer)
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the histrelease analyzer. It is loaded
+// under repro/internal/core/fixture — the scope that covers the
+// scenario harness where the original leak lived; neverReleased mirrors
+// the pre-fix scenario.Run, so reintroducing that leak is exactly what
+// this analyzer (and the repo-clean test) would catch.
+package fixture
+
+import (
+	"repro/internal/module"
+	"repro/internal/sim"
+)
+
+func releaseOK(out *module.PrimaryOutput, id sim.SchedulerID) int {
+	n := len(out.History(id))
+	out.ReleaseHistory(id)
+	return n
+}
+
+func deferOK(out *module.PrimaryOutput, id sim.SchedulerID) int {
+	defer out.ReleaseHistory(id)
+	return len(out.History(id))
+}
+
+func clearOK(out *module.PrimaryOutput, id sim.SchedulerID) int {
+	n := len(out.History(id))
+	out.ClearHistory()
+	return n
+}
+
+func neverReleased(out *module.PrimaryOutput, id sim.SchedulerID) int {
+	return len(out.History(id)) // want "never released"
+}
+
+func returnBeforeRelease(out *module.PrimaryOutput, id sim.SchedulerID, err error) (int, error) {
+	n := len(out.History(id)) // want "may leak: return at line"
+	if err != nil {
+		return 0, err
+	}
+	out.ReleaseHistory(id)
+	return n, nil
+}

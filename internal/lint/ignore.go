@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive, staticcheck-style:
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason
+//
+// placed either on the line of the finding (trailing comment) or on the
+// line immediately above it. The reason is mandatory: a suppression
+// without a recorded justification is itself reported, so silent
+// opt-outs cannot accumulate.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string
+	reason    string
+	pos       token.Position
+}
+
+// covers reports whether the directive suppresses the named analyzer.
+func (d ignoreDirective) covers(name string) bool {
+	for _, a := range d.analyzers {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreIndex maps file -> line -> directives for one package.
+type ignoreIndex map[string]map[int]ignoreDirective
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Malformed directives (no analyzer list, or no reason) are reported as
+// diagnostics of the pseudo-analyzer "lintdirective" via report.
+func collectIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, reason, ok := strings.Cut(rest, " ")
+				if !ok || names == "" || strings.TrimSpace(reason) == "" {
+					report(Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore analyzer[,analyzer] reason\"",
+					})
+					continue
+				}
+				d := ignoreDirective{
+					analyzers: strings.Split(names, ","),
+					reason:    strings.TrimSpace(reason),
+					pos:       pos,
+				}
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int]ignoreDirective)
+				}
+				idx[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic is covered by a directive on
+// its own line or the line above.
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok && dir.covers(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}

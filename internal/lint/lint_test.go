@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// callcount reports every function call — a trivial analyzer used to
+// exercise the framework's directive filtering and diagnostic plumbing
+// independent of any real check.
+var callcount = &lint.Analyzer{
+	Name: "callcount",
+	Doc:  "reports every function call (framework test analyzer)",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/ignore", "repro/fixture/ignore", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{callcount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		analyzer string
+		line     int
+	}
+	want := []key{
+		{"lintdirective", 14}, // //lint:ignore with no reason
+		{"callcount", 15},     // the malformed directive suppresses nothing
+		{"callcount", 19},     // undirected call in plainCall
+	}
+	var got []key
+	for _, d := range diags {
+		got = append(got, key{d.Analyzer, d.Pos.Line})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLoadTargets checks that Load type-checks real repo packages and
+// scopes analysis to non-test files only.
+func TestLoadTargets(t *testing.T) {
+	pkgs, err := lint.Load(".", "repro/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/sim" {
+		t.Errorf("import path %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || len(p.Info.Uses) == 0 {
+		t.Fatalf("package not fully loaded: %d files", len(p.Files))
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go" {
+			t.Errorf("test file loaded: %s", name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockheldrmi_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockheldrmi"
+)
+
+func TestLockHeldRMI(t *testing.T) {
+	analysistest.Run(t, "testdata/src/locks", "repro/fixture/locks", lockheldrmi.Analyzer)
+}

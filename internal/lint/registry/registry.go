@@ -1,0 +1,26 @@
+// Package registry enumerates the gocad-lint analyzer suite in one
+// place, so the command, the CI gate and the repo-cleanliness test all
+// run exactly the same checks. It lives apart from package lint to keep
+// the framework free of analyzer imports (and the analyzers free of
+// each other).
+package registry
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/histrelease"
+	"repro/internal/lint/lockheldrmi"
+	"repro/internal/lint/remoteerr"
+	"repro/internal/lint/simdeterminism"
+	"repro/internal/lint/tokenpool"
+)
+
+// All returns the full analyzer suite in its canonical order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		simdeterminism.Analyzer,
+		tokenpool.Analyzer,
+		histrelease.Analyzer,
+		lockheldrmi.Analyzer,
+		remoteerr.Analyzer,
+	}
+}

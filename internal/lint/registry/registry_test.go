@@ -1,0 +1,50 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/registry"
+)
+
+// TestRepoIsClean is the CI acceptance gate in test form: the analyzer
+// suite must find nothing in the tree. Reverting the scenario.Run
+// history release, adding a time.Now() to the scheduler, or dispatching
+// RMI under a lock makes this test (and ci.sh) fail.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.Load(".", "repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := lint.RunAnalyzers(pkgs, registry.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+}
+
+// TestSuiteComplete pins the analyzer roster so a dropped registration
+// fails loudly instead of silently weakening CI.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"simdeterminism", "tokenpool", "histrelease", "lockheld-rmi", "remote-err"}
+	all := registry.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package remoteerr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/remoteerr"
+)
+
+func TestRemoteErrors(t *testing.T) {
+	analysistest.Run(t, "testdata/src/remote", "repro/fixture/remote", remoteerr.Analyzer)
+}

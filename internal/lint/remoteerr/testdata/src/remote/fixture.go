@@ -1,0 +1,41 @@
+// Package fixture exercises the remote-err analyzer: errors from
+// remote-surface calls must be handled or explicitly acknowledged.
+package fixture
+
+import (
+	"repro/internal/iplib"
+	"repro/internal/rmi"
+)
+
+func discard(c *rmi.Client) {
+	c.Close() // want "error from .* discarded"
+}
+
+func discardStub(c *iplib.IPClient) {
+	c.Fees() // want "error from .* discarded"
+}
+
+func acknowledged(c *rmi.Client) {
+	_ = c.Close()
+}
+
+func handled(c *rmi.Client) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredOK(c *rmi.Client) {
+	defer c.Close()
+}
+
+func goroutineOK(c *rmi.Client) {
+	go c.Close()
+}
+
+func localOK() {
+	helper()
+}
+
+func helper() error { return nil }

@@ -1,0 +1,47 @@
+package lint
+
+import "sort"
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// through //lint:ignore directives, and returns the surviving
+// diagnostics sorted by position. Analyzer errors (not findings) abort.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		collect := func(d Diagnostic) { raw = append(raw, d) }
+		ignores := collectIgnores(pkg.Fset, pkg.Files, collect)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range raw {
+			if !ignores.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the simdeterminism analyzer. It is loaded
+// under the fake import path repro/internal/sim/fixture, so the kernel
+// scope applies — the same scope that catches a time.Now() added to
+// the scheduler.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in simulation kernel code"
+}
+
+func globalSource() int {
+	return rand.Intn(6) // want `global math/rand\.Intn source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle source`
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func suppressedOK() time.Time {
+	//lint:ignore simdeterminism fixture: metering only, never feeds simulation results
+	return time.Now()
+}
+
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to an accumulator declared outside this map range"
+	}
+	return out
+}
+
+func sliceRangeOK(xs, out []string) []string {
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func loopLocalOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

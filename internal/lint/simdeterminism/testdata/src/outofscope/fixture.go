@@ -1,0 +1,14 @@
+// Package fixture carries the same violations as the kernel fixture but
+// is loaded under repro/internal/trace/fixture — outside the analyzer's
+// scope — and must produce no findings: trace export and other one-shot
+// consumers may read the wall clock.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalSource() int { return rand.Intn(6) }

@@ -1,0 +1,20 @@
+// Package fixture exercises //lint:ignore directive handling: a
+// well-formed directive suppresses, a directive without a justification
+// is itself reported and suppresses nothing.
+package fixture
+
+func target() {}
+
+func suppressedCall() {
+	//lint:ignore callcount fixture: justified suppression
+	target()
+}
+
+func malformedDirective() {
+	//lint:ignore callcount
+	target()
+}
+
+func plainCall() {
+	target()
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the tokenpool analyzer against the real
+// sim package's pooled-token API.
+package fixture
+
+import (
+	"repro/internal/signal"
+	"repro/internal/sim"
+)
+
+type sink struct{}
+
+func (sink) HandlerName() string                 { return "sink" }
+func (sink) HandleToken(*sim.Context, sim.Token) {}
+
+type holder struct{ tok *sim.SignalToken }
+
+func postOK(s *sim.Scheduler) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	s.Post(tok)
+}
+
+func doublePost(s *sim.Scheduler) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	s.Post(tok)
+	s.Post(tok) // want "posted twice"
+}
+
+func useAfterPost(s *sim.Scheduler) sim.Time {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	s.Post(tok)
+	return tok.When() // want "used after Post"
+}
+
+func escapeReturn() *sim.SignalToken {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	return tok // want "returned"
+}
+
+func escapeStore(h *holder, s *sim.Scheduler) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	h.tok = tok // want "stored in a field or container element"
+	s.Post(tok)
+}
+
+func escapeSend(ch chan *sim.SignalToken) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	ch <- tok // want "sent on a channel"
+}
+
+func handBuiltOK(h *holder) *sim.SignalToken {
+	tok := &sim.SignalToken{}
+	h.tok = tok
+	return tok
+}
+
+func reacquireOK(s *sim.Scheduler) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	s.Post(tok)
+	tok = sim.AcquireSignalToken(2, sink{}, 0, signal.BitValue{B: signal.B0}, "src")
+	s.Post(tok)
+}

@@ -1,0 +1,12 @@
+package tokenpool_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/tokenpool"
+)
+
+func TestTokenLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata/src/tokens", "repro/fixture/tokens", tokenpool.Analyzer)
+}
