@@ -40,6 +40,7 @@ vuln:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzMuxResponses$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 
 # Full benchmark sweep with allocation stats, archived as a dated JSON
 # snapshot (one go-test event per line) for regression comparison.

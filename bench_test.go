@@ -14,7 +14,9 @@ package gocad_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	gocad "repro"
 	"repro/internal/core"
@@ -304,6 +306,104 @@ func BenchmarkRMIRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRMIPipeline measures pipelined transport throughput under an
+// emulated 20ms-RTT WAN: `depth` concurrent callers issue power batches
+// over one connection with MaxInFlight=depth. Depth 1 reproduces
+// stop-and-wait (every call pays the full round trip serially); deeper
+// pipelines overlap the emulated delay, so ns/op must fall by ≥2x at
+// depth 8.
+func BenchmarkRMIPipeline(b *testing.B) {
+	for _, depth := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			prov := gocad.NewProvider("bench")
+			if err := prov.Register(gocad.MultFastLowPower()); err != nil {
+				b.Fatal(err)
+			}
+			profile := netsim.Profile{Name: "bench-wan", OneWay: 10 * time.Millisecond}
+			conn, err := gocad.ConnectInProcess(prov, "bench-user", profile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			conn.Client.RPC.MaxInFlight = depth
+			inst, err := conn.Client.Bind("MultFastLowPower", 8, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := [][]signal.Bit{make([]signal.Bit, 16), make([]signal.Bit, 16)}
+			b.ResetTimer()
+			work := make(chan struct{})
+			var wg sync.WaitGroup
+			errCh := make(chan error, depth)
+			for w := 0; w < depth; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range work {
+						// SkipCompute isolates transport throughput from
+						// the provider's power simulator.
+						if _, err := inst.PowerBatch(batch, true); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+// BenchmarkEstimationCacheRepeatedRuns quantifies the content-addressed
+// estimation cache on the repeated-stimulus workload it targets (same
+// seed, same design — the Table 2 grid re-running a cell): with a shared
+// warm cache every batch is served locally. The hit-rate metric is the
+// fraction of batch lookups that stayed off the wire.
+func BenchmarkEstimationCacheRepeatedRuns(b *testing.B) {
+	base := core.DefaultConfig()
+	base.Width = 8
+	base.Patterns = 20
+	base.Profile = netsim.Profile{Name: "bench-wan", OneWay: 2 * time.Millisecond}
+	b.Run("cache=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(core.EstimatorRemote, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache=shared", func(b *testing.B) {
+		cfg := base
+		cfg.Cache = core.NewEstimationCache()
+		if _, err := core.Run(core.EstimatorRemote, cfg); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		var hits, lookups int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(core.EstimatorRemote, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits += res.CacheHits
+			lookups += res.CacheHits + res.CacheMisses
+		}
+		b.StopTimer()
+		if lookups > 0 {
+			b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+		}
+	})
 }
 
 // BenchmarkFigure2Simulation measures the AL design end to end per

@@ -27,11 +27,14 @@ func main() {
 		keyfile = flag.String("keyfile", "gocad-key.hex", "file receiving the hex session key")
 		name    = flag.String("name", "provider1", "provider display name")
 		idle    = flag.Duration("idle-timeout", 0, "drop sessions idle longer than this (0 disables)")
+		workers = flag.Int("session-workers", provider.DefaultSessionWorkers,
+			"concurrent request dispatch per session (1 = serial, matches pre-pipelining behavior)")
 	)
 	flag.Parse()
 
 	p := provider.New(*name)
 	p.Server.IdleTimeout = *idle
+	p.Server.SessionWorkers = *workers
 	if err := p.Register(provider.MultFastLowPower()); err != nil {
 		fatal(err)
 	}

@@ -13,6 +13,12 @@
 // transport against connection loss: calls are retried with backoff, the
 // session is re-established and replayed after a reconnect, and if the
 // provider stays dead the run completes with degraded estimates.
+//
+// The performance knobs: -inflight bounds how many RMI calls pipeline on
+// the one connection (1 reproduces the stop-and-wait wire schedule, 0
+// picks the transport default), and -est-cache short-circuits repeated
+// estimation batches client-side with a content-addressed cache, skipping
+// the round trip entirely. Neither changes any estimate value.
 package main
 
 import (
@@ -49,6 +55,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-call deadline (0 disables)")
 		retries  = flag.Int("retries", 4, "max attempts per idempotent call (1 disables retry)")
 		recover_ = flag.Bool("recover", true, "replay the session after an automatic reconnect")
+		inflight = flag.Int("inflight", 0, "max pipelined RMI calls in flight (0 = default, 1 = stop-and-wait)")
+		estcache = flag.Bool("est-cache", false, "short-circuit repeated estimation batches with a content-addressed cache")
 	)
 	flag.Parse()
 
@@ -71,6 +79,7 @@ func main() {
 		}
 		defer conn.Close()
 		conn.Harden(core.Resilience{Timeout: *timeout, Retry: retry, Recover: *recover_})
+		conn.Client.RPC.MaxInFlight = *inflight
 		ip, meter = conn.Client, conn.Meter
 	} else {
 		raw, err := os.ReadFile(*keyfile)
@@ -91,6 +100,7 @@ func main() {
 		rpc.Meter = meter
 		rpc.Timeout = *timeout
 		rpc.Retry = retry
+		rpc.MaxInFlight = *inflight
 		ip = iplib.NewIPClient(rpc)
 		if *recover_ {
 			ip.EnableRecovery()
@@ -133,6 +143,9 @@ func main() {
 	out := module.NewPrimaryOutput("OUT", 2**width, o)
 
 	est := core.NewRemotePowerEstimator(inst, offer, *buffer, !*blocking)
+	if *estcache {
+		est.EnableCache(core.NewEstimationCache())
+	}
 	var mult module.Module
 	if *remote {
 		rm, err := core.NewRemoteMult("MULT", *width, ar, br, o, inst)
@@ -179,6 +192,10 @@ func main() {
 	fmt.Printf("  CPU time %v, real time %v (blocked on network %v, %d calls, %d bytes)\n",
 		cpu.Round(time.Microsecond), real.Round(time.Microsecond),
 		meter.Blocked().Round(time.Microsecond), meter.Calls(), meter.Bytes())
+	if *estcache {
+		fmt.Printf("  estimation cache: %d hits, %d misses, %d request bytes saved\n",
+			rep.CacheHits, rep.CacheMisses, rep.CacheBytesSaved)
+	}
 	if rep.Degraded {
 		fmt.Printf("  DEGRADED: provider declared dead mid-run; %d batches lost, later estimates are fallback values\n",
 			rep.LostBatches)

@@ -219,6 +219,9 @@ type (
 	RemoteMult = core.RemoteMult
 	// RemotePowerEstimator is the buffered nonblocking remote estimator.
 	RemotePowerEstimator = core.RemotePowerEstimator
+	// EstimationCache is the client-side content-addressed cache remote
+	// estimators share via EnableCache.
+	EstimationCache = core.EstimationCache
 	// Connection is one authenticated client-provider session.
 	Connection = core.Connection
 	// NetworkProfile characterizes an emulated network environment.
@@ -237,6 +240,7 @@ var (
 	NewRemoteMult            = core.NewRemoteMult
 	NewRemoteEstimator       = core.NewRemotePowerEstimator
 	NewRemoteTimingEstimator = core.NewRemoteTimingEstimator
+	NewEstimationCache       = core.NewEstimationCache
 )
 
 // Emulated network environments.
@@ -338,8 +342,8 @@ type (
 
 // Design-rule and test-generation entry points.
 var (
-	ValidateDesign = module.Validate
-	DesignErrors   = module.Errors
+	ValidateDesign    = module.Validate
+	DesignErrors      = module.Errors
 	GenerateTests     = fault.GenerateTests
 	GenerateTestsRand = fault.GenerateTestsRand
 	C17               = gate.C17

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func pat(bits ...signal.Bit) []signal.Bit { return bits }
+
+// TestEstimationCacheChainKeys pins the content-addressing contract:
+// identical histories produce identical keys, and any divergence — a
+// different pattern, or the same pattern after a different prefix —
+// changes every subsequent key.
+func TestEstimationCacheChainKeys(t *testing.T) {
+	c := NewEstimationCache()
+	a := c.newSession("fp")
+	b := c.newSession("fp")
+	_, ka, _ := a.lookup([][]signal.Bit{pat(signal.B0), pat(signal.B1)})
+	_, kb, _ := b.lookup([][]signal.Bit{pat(signal.B0), pat(signal.B1)})
+	if !reflect.DeepEqual(ka, kb) {
+		t.Error("identical histories produced different keys")
+	}
+
+	// Same second pattern behind a different first one: its key must differ.
+	d := c.newSession("fp")
+	_, kd, _ := d.lookup([][]signal.Bit{pat(signal.B1), pat(signal.B1)})
+	if kd[1] == ka[1] {
+		t.Error("history divergence did not change the later key")
+	}
+
+	// A different setup fingerprint must not alias even on equal stimulus.
+	e := c.newSession("other")
+	_, ke, _ := e.lookup([][]signal.Bit{pat(signal.B0), pat(signal.B1)})
+	if ke[0] == ka[0] {
+		t.Error("different fingerprints aliased")
+	}
+}
+
+// TestEstimationCacheHitAndReplayDebt walks the miss→commit→hit cycle:
+// a committed batch is served locally by a later session with the same
+// history, and the served patterns accumulate as replay debt for the
+// next miss to transmit.
+func TestEstimationCacheHitAndReplayDebt(t *testing.T) {
+	c := NewEstimationCache()
+	batch := [][]signal.Bit{pat(signal.B0, signal.B1), pat(signal.B1, signal.B1)}
+
+	s1 := c.newSession("fp")
+	if _, keys, hit := s1.lookup(batch); hit {
+		t.Fatal("empty cache reported a hit")
+	} else {
+		c.commit(keys, []float64{1.5, 2.5})
+	}
+	if c.Size() != 2 {
+		t.Fatalf("cache size = %d, want 2", c.Size())
+	}
+
+	s2 := c.newSession("fp")
+	vals, _, hit := s2.lookup(batch)
+	if !hit {
+		t.Fatal("committed batch missed")
+	}
+	if vals[0] != 1.5 || vals[1] != 2.5 {
+		t.Errorf("hit values = %v", vals)
+	}
+	if got := s2.takeReplay(); len(got) != 2 {
+		t.Errorf("replay debt = %d patterns, want 2", len(got))
+	}
+	if got := s2.takeReplay(); len(got) != 0 {
+		t.Error("replay debt not cleared by take")
+	}
+
+	// Partial coverage is all-or-nothing: extending the history past the
+	// cached prefix must miss the whole batch.
+	s3 := c.newSession("fp")
+	long := append(append([][]signal.Bit{}, batch...), pat(signal.B0, signal.B0))
+	if _, _, hit := s3.lookup(long); hit {
+		t.Error("partially cached batch reported a full hit")
+	}
+}
+
+// TestEstimationCacheCommitShapeMismatch: a provider reply of the wrong
+// length must cache nothing rather than mis-associate values.
+func TestEstimationCacheCommitShapeMismatch(t *testing.T) {
+	c := NewEstimationCache()
+	s := c.newSession("fp")
+	_, keys, _ := s.lookup([][]signal.Bit{pat(signal.B0), pat(signal.B1)})
+	c.commit(keys, []float64{1})
+	if c.Size() != 0 {
+		t.Errorf("mismatched commit cached %d values", c.Size())
+	}
+}
+
+// scenarioSamples runs one ER scenario and returns its power samples.
+func scenarioSamples(t *testing.T, cfg Config) (*Result, []float64) {
+	t.Helper()
+	res, err := Run(EstimatorRemote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Power == nil || len(res.Power.Samples) == 0 {
+		t.Fatal("scenario produced no power samples")
+	}
+	return res, res.Power.Samples
+}
+
+// TestScenarioDeterministicAcrossDepths is the pipelining half of the
+// determinism contract: the ER scenario's power values and product count
+// must be bit-identical whether the transport runs stop-and-wait
+// (depth 1) or deeply pipelined.
+func TestScenarioDeterministicAcrossDepths(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 20
+	cfg.InFlight = 1
+	ref, refSamples := scenarioSamples(t, cfg)
+	for _, depth := range []int{8, 32} {
+		cfg.InFlight = depth
+		res, samples := scenarioSamples(t, cfg)
+		if !reflect.DeepEqual(refSamples, samples) {
+			t.Errorf("depth %d: samples diverged from depth 1", depth)
+		}
+		if res.Products != ref.Products {
+			t.Errorf("depth %d: products = %d, want %d", depth, res.Products, ref.Products)
+		}
+	}
+}
+
+// TestScenarioCacheHitsAndDeterminism is the caching half: a repeated
+// run against a shared cache must serve batches locally (observable hit
+// counters, fewer RMI calls, bytes saved) while returning bit-identical
+// power values.
+func TestScenarioCacheHitsAndDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 20
+	_, plainSamples := scenarioSamples(t, cfg)
+
+	cache := NewEstimationCache()
+	cfg.Cache = cache
+	cold, coldSamples := scenarioSamples(t, cfg)
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run reported %d cache hits", cold.CacheHits)
+	}
+	if cold.CacheMisses == 0 {
+		t.Error("cold run metered no cache misses")
+	}
+	if !reflect.DeepEqual(plainSamples, coldSamples) {
+		t.Error("enabling the cache changed the cold run's values")
+	}
+
+	warm, warmSamples := scenarioSamples(t, cfg)
+	if warm.CacheHits == 0 {
+		t.Fatal("repeat run produced no cache hits")
+	}
+	if warm.CacheBytesSaved == 0 {
+		t.Error("cache hits saved no bytes")
+	}
+	if warm.Calls >= cold.Calls {
+		t.Errorf("repeat run made %d calls, cold made %d; hits did not stay off the wire", warm.Calls, cold.Calls)
+	}
+	if !reflect.DeepEqual(plainSamples, warmSamples) {
+		t.Error("cache-served values diverged from remote values")
+	}
+	if warm.Power.CacheHits != warm.CacheHits {
+		t.Errorf("report hits %d != meter hits %d", warm.Power.CacheHits, warm.CacheHits)
+	}
+	if cache.Hits() == 0 || cache.BytesSaved() == 0 {
+		t.Errorf("shared cache counters: hits=%d saved=%d", cache.Hits(), cache.BytesSaved())
+	}
+}
+
+// TestScenarioCacheSkipComputeBypassed: the Figure 3 methodology asks
+// the provider to skip the power simulator, so its meaningless values
+// must never be cached or served.
+func TestScenarioCacheSkipComputeBypassed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 10
+	cfg.SkipCompute = true
+	cfg.Cache = NewEstimationCache()
+	res, err := Run(EstimatorRemote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 || cfg.Cache.Size() != 0 {
+		t.Errorf("SkipCompute run touched the cache: hits=%d misses=%d size=%d",
+			res.CacheHits, res.CacheMisses, cfg.Cache.Size())
+	}
+}
+
+// TestTable2DeterministicAcrossWorkersAndDepth extends the parallel
+// experiment driver's determinism contract to the transport depth: the
+// full Table 2 grid must produce identical per-cell power values and
+// product counts whether run serially at depth 1 or on 4 workers with a
+// deep pipeline.
+func TestTable2DeterministicAcrossWorkersAndDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 10
+	cfg.Workers = 1
+	cfg.InFlight = 1
+	serial, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	cfg.InFlight = 16
+	deep, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(deep) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(deep))
+	}
+	for i := range serial {
+		if serial[i].Products != deep[i].Products {
+			t.Errorf("row %d: products %d vs %d", i, serial[i].Products, deep[i].Products)
+		}
+		var a, b []float64
+		if serial[i].Power != nil {
+			a = serial[i].Power.Samples
+		}
+		if deep[i].Power != nil {
+			b = deep[i].Power.Samples
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("row %d: power samples diverged across workers/depth", i)
+		}
+	}
+}

@@ -73,6 +73,31 @@ type RemotePowerEstimator struct {
 	// method, NewRemoteTimingEstimator substitutes the timing method.
 	dispatch func(batch [][]signal.Bit, skip bool) ([]float64, error)
 
+	// method names the remote batch method; it seeds the cache
+	// fingerprint. reqBytes sizes the encoded request for one batch, for
+	// the cache's bytes-saved accounting.
+	method   string
+	reqBytes func(batch [][]signal.Bit) int
+
+	// Content-addressed estimation cache (EnableCache). The session
+	// carries this estimator's rolling history chain; cacheOff latches
+	// when a remote error leaves the provider's simulator state unknown —
+	// serving further hits against a diverged history would be unsound.
+	cacheStore *EstimationCache
+	cache      *cacheSession
+	cacheOff   atomic.Bool
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	cacheSaved atomic.Int64
+
+	// Nonblocking batches flow through a single ordered dispatcher
+	// goroutine: batches reach the wire — and their results are recorded
+	// — in exactly the order the simulation produced them, so pipelined
+	// and cached runs are bit-identical to blocking stop-and-wait ones.
+	jobsOnce  sync.Once
+	jobsClose sync.Once
+	jobs      chan batchJob
+
 	mu          sync.Mutex
 	buf         [][]signal.Bit
 	results     []float64
@@ -84,12 +109,27 @@ type RemotePowerEstimator struct {
 	lostBatches int
 }
 
+// batchJob is one unit of estimator dispatch work, prepared serially (so
+// the cache chain advances in simulation order) and executed either
+// inline (blocking mode) or by the ordered dispatcher (nonblocking).
+type batchJob struct {
+	// send is the pattern sequence to transmit; nil for a pure cache hit.
+	send [][]signal.Bit
+	// vals are the locally resolved values of a cache hit.
+	vals []float64
+	// prefix counts leading catch-up patterns in send whose reply values
+	// are discarded (cache-hit history the provider had not executed).
+	prefix int
+	// keys address the trailing len(keys) reply values for cache commit.
+	keys []cacheKey
+}
+
 // NewRemotePowerEstimator builds the estimator from a provider offer.
 func NewRemotePowerEstimator(inst *iplib.BoundInstance, offer iplib.EstimatorOffer, bufferSize int, nonblocking bool) *RemotePowerEstimator {
 	if bufferSize < 1 {
 		bufferSize = 1
 	}
-	return &RemotePowerEstimator{
+	e := &RemotePowerEstimator{
 		Meta: estim.Meta{
 			Name:    offer.Name,
 			Param:   offer.Parameter(),
@@ -101,7 +141,30 @@ func NewRemotePowerEstimator(inst *iplib.BoundInstance, offer iplib.EstimatorOff
 		inst:        inst,
 		BufferSize:  bufferSize,
 		Nonblocking: nonblocking,
+		method:      iplib.MethodPowerBatch,
 	}
+	e.reqBytes = func(batch [][]signal.Bit) int {
+		b, err := rmi.Encode(iplib.PowerBatchReq{Instance: inst.ID(), Patterns: batch})
+		if err != nil {
+			return 0
+		}
+		return len(b)
+	}
+	return e
+}
+
+// EnableCache attaches a shared content-addressed estimation cache. The
+// session chain is seeded with this estimator's setup fingerprint —
+// remote method, component, estimator offer, and width — so only runs
+// driving the same stimulus into the same setup share entries. Call
+// before the first Estimate; a nil store leaves caching disabled.
+func (e *RemotePowerEstimator) EnableCache(store *EstimationCache) {
+	if store == nil {
+		return
+	}
+	e.cacheStore = store
+	fp := fmt.Sprintf("%s|%s|%s|%d", e.method, e.inst.Component(), e.Name, e.inst.Width())
+	e.cache = store.newSession(fp)
 }
 
 // Estimate implements estim.Estimator: it snapshots the component's input
@@ -161,32 +224,108 @@ func (e *RemotePowerEstimator) takeBatchLocked() [][]signal.Bit {
 	return batch
 }
 
+// dispatchQueueDepth bounds the ordered dispatcher's job backlog; a full
+// queue applies backpressure to the simulation thread.
+const dispatchQueueDepth = 16
+
 // dispatchTaken runs one batch previously taken by takeBatchLocked and
 // balances its wg.Add. It must be called WITHOUT e.mu held: the batch is
 // a network round trip (potentially a whole retry-reconnect ladder), and
 // holding the lock across it would stall every Estimate call — the
 // lockheld-rmi invariant. A nil batch is a no-op.
+//
+// The cache consult happens here, on the caller's goroutine, because
+// Estimate calls arrive in simulation order and the cache chain must
+// advance in that same order. The resulting job then executes inline
+// (blocking mode) or on the ordered dispatcher (nonblocking mode), which
+// preserves batch order end to end: values are recorded exactly as a
+// stop-and-wait run would record them.
 func (e *RemotePowerEstimator) dispatchTaken(batch [][]signal.Bit) {
 	if batch == nil {
 		return
 	}
+	job := e.prepareJob(batch)
 	if !e.Nonblocking {
-		defer e.wg.Done()
-		e.recordBatch(e.dispatchBatch(batch))
+		e.runJob(job)
 		return
 	}
-	if e.dispatch == nil {
-		// The power path has a native async stub; use it.
-		e.inst.PowerBatchAsync(batch, e.SkipCompute, func(vals []float64, err error) {
-			defer e.wg.Done()
-			e.recordBatch(vals, err)
-		})
+	e.startDispatcher()
+	e.jobs <- job
+}
+
+// prepareJob consults the estimation cache for one batch. On a full hit
+// the job carries the locally resolved values and nothing goes on the
+// wire; on a miss the job transmits any accumulated cache-hit replay debt
+// as a catch-up prefix ahead of the batch, so the provider's stateful
+// simulator sees the complete pattern history.
+func (e *RemotePowerEstimator) prepareJob(batch [][]signal.Bit) batchJob {
+	if e.cache == nil || e.SkipCompute || e.cacheOff.Load() {
+		return batchJob{send: batch}
+	}
+	vals, keys, hit := e.cache.lookup(batch)
+	if hit {
+		saved := 0
+		if e.reqBytes != nil {
+			saved = e.reqBytes(batch)
+		}
+		e.cacheHits.Add(1)
+		e.cacheSaved.Add(int64(saved))
+		e.cacheStore.hits.Add(1)
+		e.cacheStore.saved.Add(int64(saved))
+		if m := e.inst.Meter(); m != nil {
+			m.AddCacheHit(saved)
+		}
+		return batchJob{vals: vals}
+	}
+	e.cacheMiss.Add(1)
+	e.cacheStore.misses.Add(1)
+	if m := e.inst.Meter(); m != nil {
+		m.AddCacheMiss()
+	}
+	replay := e.cache.takeReplay()
+	send := batch
+	if len(replay) > 0 {
+		send = append(append(make([][]signal.Bit, 0, len(replay)+len(batch)), replay...), batch...)
+	}
+	return batchJob{send: send, prefix: len(replay), keys: keys}
+}
+
+// startDispatcher lazily launches the single ordered-dispatch goroutine.
+func (e *RemotePowerEstimator) startDispatcher() {
+	e.jobsOnce.Do(func() {
+		e.jobs = make(chan batchJob, dispatchQueueDepth)
+		go func() {
+			for j := range e.jobs {
+				e.runJob(j)
+			}
+		}()
+	})
+}
+
+// runJob executes one prepared job and records its values, balancing the
+// batch's wg.Add. Jobs for one estimator run strictly FIFO (inline or on
+// the single dispatcher goroutine), so results append in batch order.
+func (e *RemotePowerEstimator) runJob(j batchJob) {
+	defer e.wg.Done()
+	if j.send == nil {
+		e.recordBatch(j.vals, nil)
 		return
 	}
-	go func() {
-		defer e.wg.Done()
-		e.recordBatch(e.dispatch(batch, e.SkipCompute))
-	}()
+	vals, err := e.execBatch(j.send)
+	if err != nil {
+		// The provider's simulator state is now unknown relative to our
+		// history chain; later cache hits against it would be unsound.
+		e.cacheOff.Store(true)
+		e.recordBatch(nil, err)
+		return
+	}
+	if j.prefix > 0 && len(vals) >= j.prefix {
+		vals = vals[j.prefix:] // discard catch-up values (already served from cache)
+	}
+	if e.cache != nil && len(j.keys) > 0 && !e.cacheOff.Load() {
+		e.cacheStore.commit(j.keys, vals)
+	}
+	e.recordBatch(vals, nil)
 }
 
 // recordBatch takes the lock and records one completed batch.
@@ -196,11 +335,26 @@ func (e *RemotePowerEstimator) recordBatch(vals []float64, err error) {
 	e.recordLocked(vals, err)
 }
 
-// dispatchBatch runs one batch synchronously through the configured
-// remote method.
-func (e *RemotePowerEstimator) dispatchBatch(batch [][]signal.Bit) ([]float64, error) {
+// execBatch runs one pattern sequence through the configured remote
+// method. In nonblocking mode the power path goes through the async stub
+// and waits on its completion here, on the dispatcher goroutine — the
+// wait is pipelining headroom, not caller-visible blocked time, so it
+// stays out of the meter's blocked-time accounting.
+func (e *RemotePowerEstimator) execBatch(batch [][]signal.Bit) ([]float64, error) {
 	if e.dispatch != nil {
 		return e.dispatch(batch, e.SkipCompute)
+	}
+	if e.Nonblocking {
+		type res struct {
+			vals []float64
+			err  error
+		}
+		ch := make(chan res, 1)
+		e.inst.PowerBatchAsync(batch, e.SkipCompute, func(vals []float64, err error) {
+			ch <- res{vals, err}
+		})
+		r := <-ch
+		return r.vals, r.err
 	}
 	return e.inst.PowerBatch(batch, e.SkipCompute)
 }
@@ -260,6 +414,15 @@ func (e *RemotePowerEstimator) Close() error {
 	if m := e.inst.Meter(); m != nil {
 		m.AddBlocked(time.Since(start))
 	}
+	// All jobs are recorded; retire the ordered dispatcher (if it ever
+	// started). The empty Do establishes visibility of e.jobs when the
+	// dispatcher was started on another goroutine.
+	e.jobsOnce.Do(func() {})
+	e.jobsClose.Do(func() {
+		if e.jobs != nil {
+			close(e.jobs)
+		}
+	})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(e.errs) > 0 {
@@ -278,6 +441,12 @@ type PowerReport struct {
 	// fell back; LostBatches counts the batches whose values were lost.
 	Degraded    bool
 	LostBatches int
+	// CacheHits/CacheMisses count batch lookups served locally versus sent
+	// remote when an estimation cache is enabled (both zero otherwise);
+	// CacheBytesSaved approximates the request traffic the hits avoided.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheBytesSaved int64
 }
 
 // Report returns the accumulated remote estimates.
@@ -287,6 +456,9 @@ func (e *RemotePowerEstimator) Report() PowerReport {
 	r := PowerReport{
 		Samples: append([]float64(nil), e.results...), Sent: e.sent,
 		Degraded: e.degraded, LostBatches: e.lostBatches,
+		CacheHits:       e.cacheHits.Load(),
+		CacheMisses:     e.cacheMiss.Load(),
+		CacheBytesSaved: e.cacheSaved.Load(),
 	}
 	if len(r.Samples) > 1 {
 		sum := 0.0
@@ -311,6 +483,14 @@ func NewRemoteTimingEstimator(inst *iplib.BoundInstance, offer iplib.EstimatorOf
 	e := NewRemotePowerEstimator(inst, offer, bufferSize, nonblocking)
 	e.dispatch = func(batch [][]signal.Bit, _ bool) ([]float64, error) {
 		return inst.TimingBatch(batch)
+	}
+	e.method = iplib.MethodTimingBatch
+	e.reqBytes = func(batch [][]signal.Bit) int {
+		b, err := rmi.Encode(iplib.TimingBatchReq{Instance: inst.ID(), Patterns: batch})
+		if err != nil {
+			return 0
+		}
+		return len(b)
 	}
 	return e
 }

@@ -76,6 +76,14 @@ type Config struct {
 	// Each scenario run builds its own design and provider, so runs cannot
 	// interfere; results are returned in grid order regardless.
 	Workers int
+	// InFlight bounds the RMI transport's pipelined in-flight calls:
+	// 0 uses rmi.DefaultInFlight, 1 reproduces the stop-and-wait wire
+	// behavior exactly. Values are bit-identical at any depth.
+	InFlight int
+	// Cache, when non-nil, serves repeat estimation batches from a shared
+	// content-addressed cache instead of the provider (see
+	// EstimationCache). Values are bit-identical with or without it.
+	Cache *EstimationCache
 }
 
 // DefaultConfig returns the paper's experimental parameters.
@@ -112,6 +120,11 @@ type Result struct {
 	// Calls and Bytes quantify the RMI traffic.
 	Calls int64
 	Bytes int64
+	// CacheHits/CacheMisses/CacheBytesSaved summarize estimation-cache
+	// activity for the run (all zero when no cache is configured).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheBytesSaved int64
 	// PowerSamples counts per-pattern power values received remotely.
 	PowerSamples int
 	// Power is the full remote estimation report (nil for AL), including
@@ -178,6 +191,7 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		defer conn.Close()
+		conn.Client.RPC.MaxInFlight = cfg.InFlight
 		if cfg.Resilience != nil {
 			// Harden before Bind so the bind lands in the recovery journal.
 			conn.Harden(*cfg.Resilience)
@@ -198,6 +212,7 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		}
 		remote = NewRemotePowerEstimator(inst, offer, cfg.BufferSize, cfg.Nonblocking)
 		remote.SkipCompute = cfg.SkipCompute
+		remote.EnableCache(cfg.Cache)
 		switch s {
 		case EstimatorRemote:
 			m := module.NewMult("MULT", cfg.Width, ar, br, o)
@@ -264,6 +279,9 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		res.Blocked = conn.Meter.Blocked()
 		res.Calls = conn.Meter.Calls()
 		res.Bytes = conn.Meter.Bytes()
+		res.CacheHits = conn.Meter.CacheHits()
+		res.CacheMisses = conn.Meter.CacheMisses()
+		res.CacheBytesSaved = conn.Meter.CacheBytesSaved()
 		fees, err := conn.Client.Fees()
 		switch {
 		case err == nil:

@@ -49,6 +49,19 @@ var rmiClientTypes = map[string]bool{"Client": true, "Pending": true}
 // perform a network handshake.
 var rmiClientFuncs = map[string]bool{"Dial": true, "NewClient": true}
 
+// rmiNonBlockingClient are rmi.Client methods that only read local,
+// mutex-guarded state — never the wire. With the multiplexed transport
+// these are the sanctioned observability accessors (session identity,
+// liveness, reconnect count, pipeline high-water mark); holding a caller
+// lock across them is fine, and callers legitimately consult them inside
+// their own critical sections.
+var rmiNonBlockingClient = map[string]bool{
+	"Session":      true,
+	"Dead":         true,
+	"Reconnects":   true,
+	"PeakInFlight": true,
+}
+
 // isRMICall reports whether fn blocks on a network round trip.
 func isRMICall(fn *types.Func) bool {
 	pkg := lint.FuncPkgPath(fn)
@@ -59,6 +72,9 @@ func isRMICall(fn *types.Func) bool {
 		return false
 	}
 	if _, typeName := lint.ReceiverNamed(fn); typeName != "" {
+		if typeName == "Client" && rmiNonBlockingClient[fn.Name()] {
+			return false
+		}
 		return rmiClientTypes[typeName]
 	}
 	return rmiClientFuncs[fn.Name()]

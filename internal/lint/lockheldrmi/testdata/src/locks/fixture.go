@@ -46,10 +46,18 @@ func clientUnderLock(mu *sync.Mutex, c *rmi.Client) error {
 	return c.Close() // want "while mutex mu is held"
 }
 
-func rwLockHeld(mu *sync.RWMutex, c *rmi.Client) bool {
+func rwLockHeld(mu *sync.RWMutex, c *rmi.Client) error {
 	mu.RLock()
 	defer mu.RUnlock()
-	return c.Dead() // want "while mutex mu is held"
+	return c.Call("m", nil, nil) // want "while mutex mu is held"
+}
+
+// Non-blocking client accessors read local mux state, never the wire;
+// consulting them inside a critical section is sanctioned.
+func accessorsOK(mu *sync.Mutex, c *rmi.Client) (string, bool, int) {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.Session(), c.Dead() || c.Reconnects() > 0, c.PeakInFlight()
 }
 
 func serverSideOK(sess *rmi.Session, mu *sync.Mutex) {

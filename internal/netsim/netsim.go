@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"math/rand"
+	mrand "math/rand/v2"
 	"sync/atomic"
 	"time"
 )
@@ -72,6 +73,26 @@ func (p Profile) RoundTrip(reqBytes, respBytes int, r *rand.Rand) time.Duration 
 	return p.Delay(reqBytes, r) + p.Delay(respBytes, r)
 }
 
+// EmulatedRoundTrip is the injected client-side delay for one completed
+// call of the given byte volumes, with jitter drawn from the caller's
+// seeded math/rand/v2 source (nil disables jitter). This is the quantity
+// the RPC layer sleeps per call; on a pipelined transport each in-flight
+// call sleeps its own EmulatedRoundTrip concurrently, so emulated
+// latency OVERLAPS across in-flight calls — the wall-clock cost of N
+// pipelined calls approaches one round trip plus N serialization times,
+// not N round trips.
+func (p Profile) EmulatedRoundTrip(sent, recvd int, jr *mrand.Rand) time.Duration {
+	if p.OneWay == 0 && p.PerKB == 0 && p.Jitter == 0 {
+		return 0
+	}
+	d := p.Delay(sent, nil) + p.Delay(recvd, nil)
+	if p.Jitter > 0 && jr != nil {
+		d += time.Duration(jr.Int64N(int64(p.Jitter)))
+		d += time.Duration(jr.Int64N(int64(p.Jitter)))
+	}
+	return d
+}
+
 // Meter accumulates a client's network accounting: how long it sat
 // blocked on calls, how many calls it made, and how many bytes moved.
 // Meters are safe for concurrent use (nonblocking estimation flushes from
@@ -80,6 +101,12 @@ type Meter struct {
 	blocked atomic.Int64 // nanoseconds
 	calls   atomic.Int64
 	bytes   atomic.Int64
+
+	// Estimation-cache accounting: calls served locally from the
+	// content-addressed cache instead of crossing the wire.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheSaved  atomic.Int64 // bytes that did not cross the wire
 }
 
 // AddBlocked records time spent blocked on the network.
@@ -87,6 +114,16 @@ func (m *Meter) AddBlocked(d time.Duration) { m.blocked.Add(int64(d)) }
 
 // AddCall records one completed call moving n bytes.
 func (m *Meter) AddCall(n int) { m.calls.Add(1); m.bytes.Add(int64(n)) }
+
+// AddCacheHit records one remote call avoided by the estimation cache,
+// with the approximate request bytes that stayed local.
+func (m *Meter) AddCacheHit(savedBytes int) {
+	m.cacheHits.Add(1)
+	m.cacheSaved.Add(int64(savedBytes))
+}
+
+// AddCacheMiss records one estimation-cache lookup that went remote.
+func (m *Meter) AddCacheMiss() { m.cacheMisses.Add(1) }
 
 // Blocked returns the total time spent blocked.
 func (m *Meter) Blocked() time.Duration { return time.Duration(m.blocked.Load()) }
@@ -97,11 +134,24 @@ func (m *Meter) Calls() int64 { return m.calls.Load() }
 // Bytes returns the total bytes transferred.
 func (m *Meter) Bytes() int64 { return m.bytes.Load() }
 
+// CacheHits returns the number of batches served from the cache.
+func (m *Meter) CacheHits() int64 { return m.cacheHits.Load() }
+
+// CacheMisses returns the number of batch lookups that went remote.
+func (m *Meter) CacheMisses() int64 { return m.cacheMisses.Load() }
+
+// CacheBytesSaved returns the approximate request bytes kept off the
+// wire by cache hits.
+func (m *Meter) CacheBytesSaved() int64 { return m.cacheSaved.Load() }
+
 // Reset zeroes the meter.
 func (m *Meter) Reset() {
 	m.blocked.Store(0)
 	m.calls.Store(0)
 	m.bytes.Store(0)
+	m.cacheHits.Store(0)
+	m.cacheMisses.Store(0)
+	m.cacheSaved.Store(0)
 }
 
 // Split decomposes a measured wall-clock duration into the Table 2

@@ -69,23 +69,36 @@ type Provider struct {
 	components map[string]*Component
 }
 
+// DefaultSessionWorkers is the per-session dispatch concurrency a fresh
+// provider allows: enough that a pipelined client's stateless calls
+// (detection tables, static metrics, eval) overlap, bounded so one
+// session cannot monopolize the provider host.
+const DefaultSessionWorkers = 4
+
 // New returns a provider server with the full protocol installed.
+// Per-session dispatch is concurrent (DefaultSessionWorkers deep) for
+// stateless methods; the power and timing batch methods drive stateful
+// per-instance simulators whose values depend on pattern history, so
+// they are registered ordered — they execute in request arrival order
+// even when the client pipelines, keeping results bit-identical to a
+// stop-and-wait transport.
 func New(name string) *Provider {
 	p := &Provider{
 		Server:     rmi.NewServer(name),
 		components: make(map[string]*Component),
 	}
+	p.Server.SessionWorkers = DefaultSessionWorkers
 	p.Server.Handle(iplib.MethodCatalogue, p.handleCatalogue)
 	p.Server.Handle(iplib.MethodBind, p.handleBind)
 	p.Server.Handle(iplib.MethodEval, p.handleEval)
-	p.Server.Handle(iplib.MethodPowerBatch, p.handlePowerBatch)
+	p.Server.HandleOrdered(iplib.MethodPowerBatch, p.handlePowerBatch)
 	p.Server.Handle(iplib.MethodStatic, p.handleStatic)
 	p.Server.Handle(iplib.MethodFaultList, p.handleFaultList)
 	p.Server.Handle(iplib.MethodFaultTable, p.handleFaultTable)
 	p.Server.Handle(iplib.MethodFees, p.handleFees)
 	p.Server.Handle(iplib.MethodNegotiate, p.handleNegotiate)
 	p.Server.Handle(iplib.MethodTestSet, p.handleTestSet)
-	p.Server.Handle(iplib.MethodTimingBatch, p.handleTimingBatch)
+	p.Server.HandleOrdered(iplib.MethodTimingBatch, p.handleTimingBatch)
 	return p
 }
 

@@ -8,6 +8,7 @@ import (
 	mrand "math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -16,7 +17,9 @@ import (
 
 // countingConn wraps a net.Conn and tracks bytes in each direction, so
 // the client can compute per-call transfer sizes for the network
-// emulator.
+// emulator. After the pumps start, written is touched only by the writer
+// goroutine and read only by the reader goroutine, so the per-frame
+// deltas need no further synchronization.
 type countingConn struct {
 	net.Conn
 	read, written int64
@@ -36,31 +39,38 @@ func (c *countingConn) Write(p []byte) (int, error) {
 
 // Client is a gocad user-side RPC endpoint: the stub layer of a remote
 // component. A client owns one authenticated session with one provider
-// server. Calls are serialized (one outstanding request per connection,
-// as in classic RMI); nonblocking use runs Go on worker goroutines.
+// server. The transport is multiplexed and pipelined: up to MaxInFlight
+// calls can be on the wire concurrently, correlated back to their
+// callers by frame ID, so concurrent Call/Go users share the connection
+// instead of queueing stop-and-wait behind each other. MaxInFlight 1
+// reproduces the classic serialized RMI behavior exactly.
 //
 // A client is resilient when configured with a Timeout (per-call
 // deadline), a Retry policy (backoff for idempotent calls), and a Redial
 // function (automatic reconnect + session re-handshake after a broken
-// connection). When every attempt is exhausted the provider is declared
-// dead: the call fails with an error wrapping ErrProviderDead and all
-// further calls fail fast, letting the estimation layer degrade instead
-// of hanging.
+// connection). A transport fault fails every call in flight on the
+// multiplexed connection; each failed call retries independently under
+// its own policy. When every attempt is exhausted the provider is
+// declared dead: the call fails with an error wrapping ErrProviderDead
+// and all further calls fail fast, letting the estimation layer degrade
+// instead of hanging.
 type Client struct {
 	// Name is the client (IP user) identity presented to the provider.
 	Name string
 	// Profile is the emulated network environment; zero (InProcess)
-	// means no injected delay.
+	// means no injected delay. Each in-flight call sleeps its own
+	// emulated round trip concurrently — overlapping, not summing — which
+	// is how a real pipelined link behaves.
 	Profile netsim.Profile
 	// Meter, when non-nil, accumulates blocked-time accounting.
 	Meter *netsim.Meter
 	// Policy vets outbound payloads; nil uses security.DefaultPolicy.
 	Policy *security.MarshalPolicy
-	// Timeout bounds each call attempt's transport wait (write +
-	// response read) and each reconnect handshake. Zero means no
-	// deadline. A timed-out connection is in an undefined protocol state
-	// and is abandoned; a resilient client reconnects on the next
-	// attempt.
+	// Timeout bounds each call attempt's transport wait (send-queue wait,
+	// write, and response read) and each reconnect handshake. Zero means
+	// no deadline. A timed-out connection is in an undefined protocol
+	// state and is abandoned — every call in flight on it fails; a
+	// resilient client reconnects on the next attempt.
 	Timeout time.Duration
 	// Retry governs backoff retry of transport failures for idempotent
 	// calls. The zero value disables retry.
@@ -76,28 +86,40 @@ type Client struct {
 	Redial func() (net.Conn, error)
 	// OnReconnect, when non-nil, replays application session state after
 	// a successful re-handshake (the new server session starts empty —
-	// bound instances are gone). It runs with the connection locked; it
-	// must issue calls only through the supplied do function, never
-	// through Call/Go.
+	// bound instances are gone). It runs before the new connection
+	// accepts pipelined calls; it must issue calls only through the
+	// supplied do function, never through Call/Go.
 	OnReconnect func(do func(method string, args PortData, reply any) error) error
 	// Recorder, when non-nil, observes each successful call in exact
-	// wire order (it runs under the connection lock). The session-replay
-	// journal hangs off this hook. Replayed calls are not re-recorded.
+	// wire order. With pipelined calls completing out of order, a
+	// sequence gate re-establishes send order before invoking the hook,
+	// so the session-replay journal hanging off it stays a faithful wire
+	// transcript. Replayed calls are not re-recorded.
 	Recorder func(method string, args PortData, reply any)
+	// MaxInFlight bounds how many calls may be in flight on the
+	// connection at once: 0 selects DefaultInFlight, 1 serializes calls
+	// (the legacy stop-and-wait behavior, and the determinism baseline).
+	// Set it before issuing concurrent calls; it is read per call.
+	MaxInFlight int
 
 	key security.Key // for session re-handshake on reconnect
 
+	nextID atomic.Uint64 // call IDs; monotonic across transport epochs
+
+	jmu    sync.Mutex // guards jitter (shared by emulation and backoff)
+	jitter *mrand.Rand
+
 	mu         sync.Mutex
-	conn       *countingConn
-	enc        *gob.Encoder
-	dec        *gob.Decoder
+	tr         *mux // current transport epoch; replaced whole on reconnect
 	session    string
-	nextID     uint64
-	jitter     *mrand.Rand
 	closed     bool // Close was called; permanent
-	broken     bool // transport failed mid-stream; reconnectable
 	dead       bool // retries + reconnects exhausted; permanent
 	reconnects int
+
+	// term closes when the client reaches a terminal state (Close or
+	// provider declared dead), aborting any backoff sleep promptly.
+	term     chan struct{}
+	termOnce sync.Once
 }
 
 // Dial connects to a provider server over TCP and authenticates with the
@@ -117,24 +139,30 @@ func Dial(addr, clientName string, key security.Key) (*Client, error) {
 }
 
 // NewClient runs the handshake over an existing connection (net.Pipe for
-// in-process loopback deployments, or any emulated transport).
+// in-process loopback deployments, or any emulated transport) and starts
+// the transport pumps.
 func NewClient(conn net.Conn, clientName string, key security.Key) (*Client, error) {
 	c := &Client{
 		Name:   clientName,
 		key:    key,
 		jitter: mrand.New(mrand.NewPCG(0x90cad, 0x1999)),
+		term:   make(chan struct{}),
 	}
-	if err := c.attach(conn); err != nil {
+	m, err := c.attach(conn)
+	if err != nil {
 		return nil, err
 	}
+	m.start()
+	c.tr = m
+	c.session = m.session
 	return c, nil
 }
 
-// attach runs the authentication handshake over conn and installs it as
-// the client's transport. The caller holds c.mu (or the client is not
-// yet shared). On failure conn is closed and the previous transport
+// attach runs the authentication handshake over conn and returns the new
+// transport epoch, pumps not yet started (reconnect interposes session
+// replay first). On failure conn is closed and the previous transport
 // state is untouched.
-func (c *Client) attach(conn net.Conn) error {
+func (c *Client) attach(conn net.Conn) (*mux, error) {
 	cc := &countingConn{Conn: conn}
 	enc := gob.NewEncoder(cc)
 	dec := gob.NewDecoder(cc)
@@ -144,31 +172,39 @@ func (c *Client) attach(conn net.Conn) error {
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
 		conn.Close()
-		return err
+		return nil, err
 	}
 	msg := append(append([]byte(nil), nonce...), c.Name...)
 	hello := frame{Kind: kindHello, Client: c.Name, Nonce: nonce, Tag: c.key.Tag(msg)}
 	if err := enc.Encode(&hello); err != nil {
 		conn.Close()
-		return fmt.Errorf("rmi: handshake send: %w", err)
+		return nil, fmt.Errorf("rmi: handshake send: %w", err)
 	}
 	var welcome frame
 	if err := dec.Decode(&welcome); err != nil {
 		conn.Close()
-		return fmt.Errorf("rmi: handshake receive: %w", err)
+		return nil, fmt.Errorf("rmi: handshake receive: %w", err)
 	}
 	if welcome.Err != "" {
 		conn.Close()
-		return errors.New(welcome.Err)
+		return nil, errors.New(welcome.Err)
 	}
 	if c.Timeout > 0 {
 		_ = conn.SetDeadline(time.Time{})
 	}
-	c.conn, c.enc, c.dec = cc, enc, dec
-	c.session = welcome.Session
-	c.broken = false
-	return nil
+	return newMux(c, cc, enc, dec, welcome.Session), nil
 }
+
+// depth normalizes MaxInFlight to the effective in-flight bound.
+func (c *Client) depth() int {
+	if c.MaxInFlight <= 0 {
+		return DefaultInFlight
+	}
+	return c.MaxInFlight
+}
+
+// nextCallID issues a request ID, monotonic across reconnects.
+func (c *Client) nextCallID() uint64 { return c.nextID.Add(1) }
 
 // Session returns the authenticated session identifier. It changes after
 // an automatic reconnect (the provider opens a fresh session).
@@ -193,32 +229,40 @@ func (c *Client) Reconnects() int {
 	return c.reconnects
 }
 
-// Close shuts the connection down.
+// PeakInFlight returns the high-water mark of concurrently in-flight
+// calls on the current transport epoch — observability for tests and
+// tuning (it resets on reconnect).
+func (c *Client) PeakInFlight() int {
+	c.mu.Lock()
+	tr := c.tr
+	c.mu.Unlock()
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.peak
+}
+
+// terminate signals terminal state (close or dead) to backoff sleepers.
+func (c *Client) terminate() {
+	c.termOnce.Do(func() { close(c.term) })
+}
+
+// Close shuts the connection down: every call in flight fails, and all
+// future calls are rejected. A call sleeping in its retry backoff aborts
+// promptly instead of waiting the ladder out.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closeLocked()
-}
-
-// closeLocked marks the client permanently closed and closes the
-// transport; the caller holds c.mu.
-func (c *Client) closeLocked() error {
+	alreadyClosed := c.closed
 	c.closed = true
-	if c.conn == nil {
+	tr := c.tr
+	c.mu.Unlock()
+	c.terminate()
+	if tr == nil || alreadyClosed {
 		return nil
 	}
-	return c.conn.Close()
-}
-
-// breakLocked abandons the transport after a mid-stream failure: the gob
-// stream is in an undefined state (a partial frame, or a stale response
-// that would desynchronize request/response matching), so the connection
-// cannot be reused. A resilient client reconnects on the next attempt.
-func (c *Client) breakLocked() {
-	c.broken = true
-	if c.conn != nil {
-		c.conn.Close()
-	}
+	return tr.fail(errClientClosed)
 }
 
 // Call invokes a remote method synchronously: args is the request
@@ -255,11 +299,11 @@ func (c *Client) call(method string, args PortData, reply any, meterBlocked bool
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			c.mu.Lock()
+			c.jmu.Lock()
 			d := c.Retry.backoff(a, c.jitter)
-			c.mu.Unlock()
-			if d > 0 {
-				time.Sleep(d)
+			c.jmu.Unlock()
+			if err := c.sleepBackoff(d, method); err != nil {
+				return err
 			}
 		}
 		sent, recvd, err := c.exchange(method, args, payload, reply)
@@ -285,10 +329,37 @@ func (c *Client) call(method string, args PortData, reply any, meterBlocked bool
 		if !c.closed {
 			c.dead = true
 		}
+		dead := c.dead
 		c.mu.Unlock()
+		if dead {
+			c.terminate()
+		}
 		return deadError(method, attempts, lastErr)
 	}
 	return lastErr
+}
+
+// sleepBackoff waits out one backoff delay, aborting promptly if the
+// client reaches a terminal state (Close, or another call declaring the
+// provider dead) — a closed client must not keep goroutines parked in
+// the backoff ladder.
+func (c *Client) sleepBackoff(d time.Duration, method string) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.term:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.closed {
+			return errClientClosed
+		}
+		return fmt.Errorf("rmi: %s: %w", method, ErrProviderDead)
+	}
 }
 
 // methodIdempotent applies the Idempotent predicate (nil = all methods).
@@ -296,129 +367,105 @@ func (c *Client) methodIdempotent(method string) bool {
 	return c.Idempotent == nil || c.Idempotent(method)
 }
 
-// exchange performs one wire attempt: reconnecting first if the previous
-// transport broke, then running one request/response round trip.
-func (c *Client) exchange(method string, args PortData, payload []byte, reply any) (sent, recvd int, err error) {
+// transport returns a healthy transport epoch, reconnecting first if the
+// previous one broke.
+func (c *Client) transport(method string) (*mux, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return 0, 0, errClientClosed
+		return nil, errClientClosed
 	}
 	if c.dead {
-		return 0, 0, fmt.Errorf("rmi: %s: %w", method, ErrProviderDead)
+		return nil, fmt.Errorf("rmi: %s: %w", method, ErrProviderDead)
 	}
-	if c.broken {
+	if c.tr == nil || c.tr.broken() {
 		if err := c.reconnectLocked(); err != nil {
-			return 0, 0, fmt.Errorf("rmi: reconnect: %w", err)
+			return nil, fmt.Errorf("rmi: reconnect: %w", err)
 		}
 	}
-	sent, recvd, err = c.wireExchange(method, payload, reply, true)
+	return c.tr, nil
+}
+
+// exchange performs one wire attempt: acquire an in-flight slot, enqueue
+// the request, wait for the correlated response, then sleep the emulated
+// transfer delay for the call's actual byte volume. Concurrent in-flight
+// calls each sleep their own delay — the emulation overlaps like a real
+// pipelined link instead of summing under a transport lock.
+func (c *Client) exchange(method string, args PortData, payload []byte, reply any) (sent, recvd int, err error) {
+	m, err := c.transport(method)
 	if err != nil {
-		return sent, recvd, err
+		return 0, 0, err
 	}
-	if c.Recorder != nil {
-		c.Recorder(method, args, reply)
+	if err := m.acquire(); err != nil {
+		return 0, 0, fmt.Errorf("rmi: %s: %w", method, err)
+	}
+	defer m.release()
+	pc, err := m.enqueue(method, args, payload, reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	<-pc.done
+	sent, recvd = int(pc.sent.Load()), int(pc.recvd.Load())
+	if pc.err != nil {
+		return sent, recvd, pc.err
+	}
+	// The slot is held through the emulated delay: at depth 1 queued
+	// calls wait out the full round trip behind this one (the serialized
+	// RMI link of the paper), at depth N the sleeps overlap.
+	if delay := c.emulatedDelay(sent, recvd); delay > 0 {
+		time.Sleep(delay)
 	}
 	return sent, recvd, nil
 }
 
-// wireExchange runs one request/response round trip on the current
-// transport; the caller holds c.mu. emulate selects injected-delay
-// emulation (session replay skips it: recovery overhead is not part of
-// the workload's traffic accounting).
-func (c *Client) wireExchange(method string, payload []byte, reply any, emulate bool) (sent, recvd int, err error) {
-	c.nextID++
-	req := frame{Kind: kindRequest, ID: c.nextID, Session: c.session, Method: method, Payload: payload}
-	w0, r0 := c.conn.written, c.conn.read
-	if c.Timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
+// emulatedDelay computes this call's injected round-trip time, drawing
+// jitter from the client's seeded source.
+func (c *Client) emulatedDelay(sent, recvd int) time.Duration {
+	p := c.Profile
+	if p.OneWay == 0 && p.PerKB == 0 && p.Jitter == 0 {
+		return 0
 	}
-	if err := c.enc.Encode(&req); err != nil {
-		c.breakLocked()
-		return 0, 0, fmt.Errorf("rmi: send %s: %w", method, err)
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	var jr *mrand.Rand
+	if p.Jitter > 0 {
+		jr = c.jitter
 	}
-	var resp frame
-	if err := c.dec.Decode(&resp); err != nil {
-		c.breakLocked()
-		return int(c.conn.written - w0), int(c.conn.read - r0), fmt.Errorf("rmi: receive %s: %w", method, err)
-	}
-	if c.Timeout > 0 {
-		_ = c.conn.SetDeadline(time.Time{})
-	}
-	sent = int(c.conn.written - w0)
-	recvd = int(c.conn.read - r0)
-	if emulate {
-		var jr *mrand.Rand
-		if c.Profile.Jitter > 0 {
-			jr = c.jitter
-		}
-		// Inject the emulated transfer time for this call's byte volume
-		// while still holding the connection: on a real serialized RMI
-		// link the response only arrives after the round trip, so queued
-		// calls must wait behind it rather than pipeline through the
-		// emulation.
-		if delay := emulatedRoundTrip(c.Profile, sent, recvd, jr); delay > 0 {
-			time.Sleep(delay)
-		}
-	}
-	if resp.ID != req.ID {
-		// A stale frame (e.g. the response to an earlier failed call) is
-		// in the stream: request/response matching is desynchronized and
-		// the connection is poisoned.
-		c.breakLocked()
-		return sent, recvd, fmt.Errorf("rmi: %s: response id %d for request %d (stream desynchronized)", method, resp.ID, req.ID)
-	}
-	if resp.Err != "" {
-		return sent, recvd, &RemoteError{Method: method, Msg: resp.Err}
-	}
-	if reply == nil {
-		return sent, recvd, nil
-	}
-	if err := Decode(resp.Payload, reply); err != nil {
-		// The frame arrived intact; re-executing the method would return
-		// the same undecodable payload.
-		return sent, recvd, &permanentError{err: err}
-	}
-	return sent, recvd, nil
+	return p.EmulatedRoundTrip(sent, recvd, jr)
 }
 
 // reconnectLocked redials the transport, re-runs the authentication
 // handshake (opening a fresh provider session), and replays application
-// session state through OnReconnect. The caller holds c.mu.
+// session state through OnReconnect — serially, on the bare connection,
+// before the new epoch accepts pipelined traffic. The caller holds c.mu.
 func (c *Client) reconnectLocked() error {
 	if c.Redial == nil {
 		return errors.New("rmi: connection broken")
 	}
-	if c.conn != nil {
-		c.conn.Close()
+	if c.tr != nil {
+		// Idempotent if the epoch already failed; otherwise this fails
+		// any stragglers and closes the old conn.
+		_ = c.tr.fail(errors.New("rmi: connection superseded"))
 	}
 	conn, err := c.Redial()
 	if err != nil {
 		return err
 	}
-	if err := c.attach(conn); err != nil {
-		return err
-	}
-	c.reconnects++
-	if c.OnReconnect != nil {
-		if err := c.OnReconnect(c.replayCallLocked); err != nil {
-			c.breakLocked()
-			return fmt.Errorf("session replay: %w", err)
-		}
-	}
-	return nil
-}
-
-// replayCallLocked is the restricted call surface handed to OnReconnect:
-// one round trip on the freshly attached connection, without emulation,
-// metering, or re-recording. The caller (reconnectLocked) holds c.mu.
-func (c *Client) replayCallLocked(method string, args PortData, reply any) error {
-	payload, err := Encode(args)
+	m, err := c.attach(conn)
 	if err != nil {
 		return err
 	}
-	_, _, err = c.wireExchange(method, payload, reply, false)
-	return err
+	c.reconnects++
+	c.session = m.session
+	if c.OnReconnect != nil {
+		if err := c.OnReconnect(m.directCall); err != nil {
+			_ = m.fail(errors.New("rmi: session replay failed"))
+			return fmt.Errorf("session replay: %w", err)
+		}
+	}
+	m.start()
+	c.tr = m
+	return nil
 }
 
 // Pending is an in-flight asynchronous call.
@@ -434,6 +481,8 @@ func (p *Pending) Err() error { return p.err }
 // Go invokes a remote method asynchronously — the nonblocking estimation
 // of the paper ("gate-level simulation runs are nonblocking; they use a
 // new thread"). The reply must not be touched until Done closes.
+// Concurrent Go calls pipeline on the shared connection up to
+// MaxInFlight deep.
 func (c *Client) Go(method string, args PortData, reply any) *Pending {
 	p := &Pending{Done: make(chan struct{})}
 	go func() {
@@ -445,13 +494,5 @@ func (c *Client) Go(method string, args PortData, reply any) *Pending {
 
 // emulatedRoundTrip computes the injected delay; split out for testing.
 func emulatedRoundTrip(profile netsim.Profile, sent, recvd int, jr *mrand.Rand) time.Duration {
-	if profile.OneWay == 0 && profile.PerKB == 0 && profile.Jitter == 0 {
-		return 0
-	}
-	d := profile.Delay(sent, nil) + profile.Delay(recvd, nil)
-	if profile.Jitter > 0 && jr != nil {
-		d += time.Duration(jr.Int64N(int64(profile.Jitter)))
-		d += time.Duration(jr.Int64N(int64(profile.Jitter)))
-	}
-	return d
+	return profile.EmulatedRoundTrip(sent, recvd, jr)
 }

@@ -3,7 +3,11 @@ package rmi
 import (
 	"bytes"
 	"encoding/gob"
+	"net"
 	"testing"
+	"time"
+
+	"repro/internal/security"
 )
 
 // fuzzSeedFrames covers every frame kind plus edge shapes, so the fuzzer
@@ -82,5 +86,68 @@ func FuzzDecode(f *testing.F) {
 		// The payload helper must be equally robust.
 		var env echoReq
 		_ = Decode(data, &env)
+	})
+}
+
+// FuzzMuxResponses drives the pipelined transport against an adversarial
+// peer that answers every request with a fuzz-shaped frame — mutated IDs,
+// wrong kinds, error strings, undecodable payloads. The client must
+// resolve every in-flight call (success, remote error, or epoch poison)
+// without panicking or hanging; the per-call deadline is the backstop.
+func FuzzMuxResponses(f *testing.F) {
+	f.Add(uint64(0), uint8(kindResponse), []byte{}, "")
+	f.Add(uint64(1), uint8(kindResponse), []byte{1, 2, 3}, "")
+	f.Add(uint64(999), uint8(kindResponse), []byte(nil), "")
+	f.Add(uint64(0), uint8(kindResponse), []byte(nil), "remote boom")
+	f.Add(uint64(0), uint8(kindRequest), []byte(nil), "")
+	f.Add(uint64(7), uint8(0xff), []byte{0xde, 0xad}, "x")
+	f.Fuzz(func(t *testing.T, idDelta uint64, kind uint8, payload []byte, errStr string) {
+		key, err := security.NewKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvConn, cliConn := net.Pipe()
+		go func() {
+			defer srvConn.Close()
+			dec := gob.NewDecoder(srvConn)
+			enc := gob.NewEncoder(srvConn)
+			var hello frame
+			if dec.Decode(&hello) != nil {
+				return
+			}
+			if enc.Encode(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
+				return
+			}
+			for {
+				var req frame
+				if dec.Decode(&req) != nil {
+					return
+				}
+				resp := frame{Kind: kind, ID: req.ID + idDelta, Payload: payload, Err: errStr}
+				if enc.Encode(&resp) != nil {
+					return
+				}
+			}
+		}()
+		cli, err := NewClient(cliConn, "user", key)
+		if err != nil {
+			cliConn.Close()
+			return // a peer that breaks the handshake is a non-event
+		}
+		defer cli.Close()
+		cli.Timeout = 200 * time.Millisecond
+		cli.MaxInFlight = 4
+		var pending []*Pending
+		for i := 0; i < 4; i++ {
+			resp := new(echoResp)
+			pending = append(pending, cli.Go("m", echoReq{Note: "fuzz"}, resp))
+		}
+		for i, p := range pending {
+			select {
+			case <-p.Done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("call %d hung on fuzzed response stream", i)
+			}
+		}
 	})
 }

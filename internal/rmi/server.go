@@ -75,9 +75,19 @@ type Server struct {
 	// server drops it — dead or wedged clients cannot pin goroutines
 	// forever. Clients reconnect transparently when resilient.
 	IdleTimeout time.Duration
+	// SessionWorkers bounds concurrent handler execution per client
+	// connection. With a pipelined client, N requests can be on the wire
+	// at once; a value above 1 dispatches them to a per-session worker
+	// pool so they don't re-serialize at the provider, with responses
+	// written back (in completion order) through a single response
+	// writer. 0 or 1 keeps the legacy serial request/response loop.
+	// Methods registered through HandleOrdered always execute in arrival
+	// order relative to one another, regardless of this setting.
+	SessionWorkers int
 
 	mu       sync.Mutex
 	methods  map[string]Handler
+	ordered  map[string]bool
 	keys     map[string]security.Key
 	sessions map[string]*Session
 	nextSess uint64
@@ -90,6 +100,7 @@ func NewServer(name string) *Server {
 	return &Server{
 		Name:     name,
 		methods:  make(map[string]Handler),
+		ordered:  make(map[string]bool),
 		keys:     make(map[string]security.Key),
 		sessions: make(map[string]*Session),
 	}
@@ -103,6 +114,26 @@ func (s *Server) Handle(method string, h Handler) {
 		panic(fmt.Sprintf("rmi: duplicate method %q", method))
 	}
 	s.methods[method] = h
+}
+
+// HandleOrdered registers a handler whose invocations must execute in
+// request arrival order, serialized with respect to every other ordered
+// method on the same session. Stateful methods — the provider's power
+// and timing simulators advance per pattern batch — need this so a
+// pipelined client's results are bit-identical to stop-and-wait;
+// stateless methods registered with Handle run concurrently around them.
+func (s *Server) HandleOrdered(method string, h Handler) {
+	s.Handle(method, h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ordered[method] = true
+}
+
+// isOrdered reports whether a method demands arrival-order execution.
+func (s *Server) isOrdered(method string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ordered[method]
 }
 
 // Authorize registers a client's shared key. Only authorized clients can
@@ -205,6 +236,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 
+	if s.SessionWorkers > 1 {
+		s.serveConcurrent(conn, dec, enc, sess)
+		return
+	}
 	for {
 		if s.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
@@ -221,6 +256,76 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveConcurrent runs the post-handshake request loop with per-session
+// concurrent dispatch: this goroutine decodes requests and routes them,
+// a bounded worker pool executes unordered handlers in parallel, a
+// single ordered lane executes HandleOrdered methods in arrival order,
+// and one response writer serializes all responses back onto the gob
+// stream in completion order (the pipelined client correlates them by
+// frame ID, so response order is free).
+func (s *Server) serveConcurrent(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, sess *Session) {
+	workers := s.SessionWorkers
+	respCh := make(chan *frame, workers+1)
+	workCh := make(chan *frame)
+	orderCh := make(chan *frame, workers)
+	writerDone := make(chan struct{})
+
+	go func() { // response writer: sole owner of enc
+		defer close(writerDone)
+		for resp := range respCh {
+			if err := enc.Encode(resp); err != nil {
+				// The write side is gone; close the conn so the request
+				// loop stops, then drain so no handler blocks on respCh.
+				conn.Close()
+				for range respCh {
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range workCh {
+				respCh <- s.dispatch(sess, req)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // ordered lane: arrival-order execution for stateful methods
+		defer wg.Done()
+		for req := range orderCh {
+			respCh <- s.dispatch(sess, req)
+		}
+	}()
+
+	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		req := new(frame)
+		if err := dec.Decode(req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("rmi server %s: %v", s.Name, err)
+			}
+			break
+		}
+		if s.isOrdered(req.Method) {
+			orderCh <- req
+		} else {
+			workCh <- req
+		}
+	}
+	close(workCh)
+	close(orderCh)
+	wg.Wait()
+	close(respCh)
+	<-writerDone
 }
 
 // handshake authenticates the hello frame and opens a session.

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
 // frame kinds.
@@ -35,18 +36,38 @@ type frame struct {
 	Tag     string
 }
 
+// encBufPool recycles the gob scratch buffers of Encode. Batch payloads
+// run to tens of kilobytes; without pooling every Encode re-grows a
+// fresh bytes.Buffer through the doubling ladder. With the pool the
+// scratch storage is amortized to zero allocations: steady-state encodes
+// pay only the returned copy (sized exactly) and the per-stream gob
+// encoder state, independent of payload size.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decReaderPool recycles the bytes.Reader wrappers of Decode.
+var decReaderPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
+
 // Encode gob-serializes a payload value for transport.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("rmi: encode %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	out := append([]byte(nil), buf.Bytes()...)
+	encBufPool.Put(buf)
+	return out, nil
 }
 
 // Decode gob-deserializes a payload into v (a pointer).
 func Decode(b []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+	r := decReaderPool.Get().(*bytes.Reader)
+	r.Reset(b)
+	err := gob.NewDecoder(r).Decode(v)
+	r.Reset(nil) // drop the payload reference before pooling
+	decReaderPool.Put(r)
+	if err != nil {
 		return fmt.Errorf("rmi: decode into %T: %w", v, err)
 	}
 	return nil
