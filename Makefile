@@ -3,7 +3,7 @@ FUZZTIME ?= 15s
 BENCHTIME ?= 1s
 BENCHDATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race fuzz vet lint vuln bench smoke-bench ci clean
+.PHONY: all build test race fuzz vet lint vuln bench smoke-bench chaos ci clean
 
 all: build test
 
@@ -41,6 +41,17 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzMuxResponses$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzMuxFaultyConn$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+
+# Deterministic chaos sweep under the race detector: seeded replica
+# fault schedules (kill, partition, slow-drip, flap) across replica
+# counts, pipeline depths and cache settings, every cell asserting
+# bit-identical results while one replica stays healthy and explicit
+# degradation when none does. Seeded and bounded — a red run is a real
+# regression, never flake.
+chaos:
+	$(GO) test -race -count=1 -run='Chaos|Hedged|Failover|Quorum' ./internal/core/ ./internal/netsim/ ./internal/fault/
+	$(GO) test -race -count=1 ./internal/replica/
 
 # Full benchmark sweep with allocation stats, archived as a dated JSON
 # snapshot (one go-test event per line) for regression comparison.
@@ -53,7 +64,7 @@ bench:
 smoke-bench:
 	$(GO) test -run='^$$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
 
-ci: build vet lint test race fuzz smoke-bench vuln
+ci: build vet lint test race chaos fuzz smoke-bench vuln
 
 clean:
 	$(GO) clean ./...

@@ -20,10 +20,15 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> chaos sweep (seeded replica fault schedules under -race)"
+go test -race -count=1 -run='Chaos|Hedged|Failover|Quorum' ./internal/core/ ./internal/netsim/ ./internal/fault/
+go test -race -count=1 ./internal/replica/
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzFrameRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxResponses$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+go test -run='^$' -fuzz='^FuzzMuxFaultyConn$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/provider"
 	"repro/internal/security"
@@ -29,6 +31,8 @@ func main() {
 		idle    = flag.Duration("idle-timeout", 0, "drop sessions idle longer than this (0 disables)")
 		workers = flag.Int("session-workers", provider.DefaultSessionWorkers,
 			"concurrent request dispatch per session (1 = serial, matches pre-pipelining behavior)")
+		drain = flag.Duration("drain-timeout", 5*time.Second,
+			"on SIGTERM/interrupt, let in-flight requests finish for up to this long before force-closing")
 	)
 	flag.Parse()
 
@@ -58,12 +62,16 @@ func main() {
 	fmt.Println("  catalogue: MultFastLowPower, IP1-HalfAdder")
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	fmt.Println("shutting down")
+	fmt.Printf("draining (timeout %v)\n", *drain)
+	if err := p.Server.Drain(*drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gocad-server: drain:", err)
+	}
 	if err := p.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "gocad-server: shutdown:", err)
 	}
+	fmt.Println("drained, exiting")
 }
 
 func fatal(err error) {

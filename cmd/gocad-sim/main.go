@@ -19,6 +19,14 @@
 // picks the transport default), and -est-cache short-circuits repeated
 // estimation batches client-side with a content-addressed cache, skipping
 // the round trip entirely. Neither changes any estimate value.
+//
+// The replication knobs (both -local only): -replicas N runs the design
+// against N equivalent in-process providers behind health-gated circuit
+// breakers — a connection loss fails over to the next healthy replica
+// with the session journal replayed there — and -hedge-after D re-issues
+// a batch still unanswered after D to a second replica, first answer
+// wins. Replica estimators are deterministic, so neither changes any
+// estimate value either.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -36,6 +45,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/netsim"
 	"repro/internal/provider"
+	"repro/internal/replica"
 	"repro/internal/rmi"
 	"repro/internal/security"
 )
@@ -57,30 +67,62 @@ func main() {
 		recover_ = flag.Bool("recover", true, "replay the session after an automatic reconnect")
 		inflight = flag.Int("inflight", 0, "max pipelined RMI calls in flight (0 = default, 1 = stop-and-wait)")
 		estcache = flag.Bool("est-cache", false, "short-circuit repeated estimation batches with a content-addressed cache")
+		replicas = flag.Int("replicas", 1, "equivalent in-process provider replicas behind health-gated failover (requires -local)")
+		hedge    = flag.Duration("hedge-after", 0, "re-issue a still-unanswered estimation batch to a second replica after this long (0 disables; requires -local -replicas ≥ 2)")
 	)
 	flag.Parse()
+	if *replicas > 1 && !*local {
+		fatal(errors.New("-replicas needs -local: a live deployment has one server address per process"))
+	}
+	if *hedge > 0 && (*replicas < 2 || !*local) {
+		fatal(errors.New("-hedge-after needs -local and -replicas ≥ 2 (the hedge runs on a second replica)"))
+	}
 
 	retry := rmi.DefaultRetry
 	retry.MaxAttempts = *retries
 	netProfile := netsim.ProfileByName(*profile)
 
 	var (
-		ip    *iplib.IPClient
-		meter *netsim.Meter
+		ip        *iplib.IPClient
+		meter     *netsim.Meter
+		rset      *replica.Set
+		hedgeProv *provider.Provider
 	)
 	if *local {
-		p := provider.New("provider1")
-		if err := p.Register(provider.MultFastLowPower()); err != nil {
-			fatal(err)
+		if *replicas > 1 {
+			ps := make([]*provider.Provider, *replicas)
+			dials := make([]func() (net.Conn, error), *replicas)
+			for i := range ps {
+				p := provider.New(fmt.Sprintf("provider%d", i))
+				if err := p.Register(provider.MultFastLowPower()); err != nil {
+					fatal(err)
+				}
+				ps[i] = p
+				dials[i] = core.PipeDialer(p)
+			}
+			conn, set, err := core.ConnectReplicated(ps, *client, netProfile, dials, replica.BreakerConfig{}, nil)
+			if err != nil {
+				fatal(err)
+			}
+			defer conn.Close()
+			conn.Harden(core.Resilience{Timeout: *timeout, Retry: retry, Recover: *recover_})
+			conn.Client.RPC.MaxInFlight = *inflight
+			ip, meter, rset = conn.Client, conn.Meter, set
+			hedgeProv = ps[len(ps)-1]
+		} else {
+			p := provider.New("provider1")
+			if err := p.Register(provider.MultFastLowPower()); err != nil {
+				fatal(err)
+			}
+			conn, err := core.ConnectInProcess(p, *client, netProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer conn.Close()
+			conn.Harden(core.Resilience{Timeout: *timeout, Retry: retry, Recover: *recover_})
+			conn.Client.RPC.MaxInFlight = *inflight
+			ip, meter = conn.Client, conn.Meter
 		}
-		conn, err := core.ConnectInProcess(p, *client, netProfile)
-		if err != nil {
-			fatal(err)
-		}
-		defer conn.Close()
-		conn.Harden(core.Resilience{Timeout: *timeout, Retry: retry, Recover: *recover_})
-		conn.Client.RPC.MaxInFlight = *inflight
-		ip, meter = conn.Client, conn.Meter
 	} else {
 		raw, err := os.ReadFile(*keyfile)
 		if err != nil {
@@ -146,6 +188,18 @@ func main() {
 	if *estcache {
 		est.EnableCache(core.NewEstimationCache())
 	}
+	if *hedge > 0 && hedgeProv != nil {
+		hconn, err := core.ConnectVia(hedgeProv, *client+"-hedge", netProfile, core.PipeDialer(hedgeProv))
+		if err != nil {
+			fatal(err)
+		}
+		defer hconn.Close()
+		hinst, err := hconn.Client.Bind("MultFastLowPower", *width, nil)
+		if err != nil {
+			fatal(err)
+		}
+		est.EnableHedge(hinst, *hedge)
+	}
 	var mult module.Module
 	if *remote {
 		rm, err := core.NewRemoteMult("MULT", *width, ar, br, o, inst)
@@ -195,6 +249,14 @@ func main() {
 	if *estcache {
 		fmt.Printf("  estimation cache: %d hits, %d misses, %d request bytes saved\n",
 			rep.CacheHits, rep.CacheMisses, rep.CacheBytesSaved)
+	}
+	if rset != nil {
+		fmt.Printf("  replicas: %d failovers, %d hedged batches (%d hedge wins)\n",
+			meter.Failovers(), meter.HedgedBatches(), meter.HedgeWins())
+		for i, st := range rset.Statuses() {
+			fmt.Printf("    replica %d %-8s %d ok / %d failed, ewma latency %v\n",
+				i, st.State, st.Successes, st.Failures, st.EWMALatency.Round(time.Microsecond))
+		}
 	}
 	if rep.Degraded {
 		fmt.Printf("  DEGRADED: provider declared dead mid-run; %d batches lost, later estimates are fallback values\n",

@@ -1,0 +1,104 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServerProc launches gocad-server like startServer but keeps the
+// process handle and captures all output, so tests can signal it and
+// inspect its shutdown transcript.
+func startServerProc(t *testing.T, serverBin string, extra ...string) (cmd *exec.Cmd, addr string, keyfile string, output func() string) {
+	t.Helper()
+	keyfile = filepath.Join(t.TempDir(), "key.hex")
+	args := append([]string{"-addr", "127.0.0.1:0", "-keyfile", keyfile}, extra...)
+	cmd = exec.Command(serverBin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			buf.WriteString(line + "\n")
+			mu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr = <-addrCh:
+	case <-time.After(15 * time.Second):
+		t.Fatal("gocad-server did not report its listen address in time")
+	}
+	output = func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
+	return cmd, addr, keyfile, output
+}
+
+// TestServerDrainsOnSIGTERM is the graceful-shutdown contract of a live
+// deployment: a SIGTERM to gocad-server must produce a drain (announced
+// in its output), a clean "drained, exiting" farewell, and exit code 0 —
+// after having served real sessions over the same process lifetime.
+func TestServerDrainsOnSIGTERM(t *testing.T) {
+	serverBin, simBin := buildTools(t)
+	cmd, addr, keyfile, output := startServerProc(t, serverBin, "-drain-timeout", "5s")
+
+	// A completed session first: drain must hold up after real traffic.
+	out := runSim(t, simBin, "-addr", addr, "-keyfile", keyfile, "-width", "4", "-patterns", "10", "-blocking")
+	if !strings.Contains(out, "session bill:") {
+		t.Fatalf("warm-up session incomplete:\n%s", out)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v\n%s", err, output())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not exit within 15s of SIGTERM\n%s", output())
+	}
+
+	got := output()
+	if !strings.Contains(got, "draining") {
+		t.Errorf("shutdown transcript missing drain announcement:\n%s", got)
+	}
+	if !strings.Contains(got, "drained, exiting") {
+		t.Errorf("shutdown transcript missing clean farewell:\n%s", got)
+	}
+}

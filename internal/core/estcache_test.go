@@ -1,9 +1,12 @@
 package core
 
 import (
+	"net"
 	"reflect"
 	"testing"
 
+	"repro/internal/netsim"
+	"repro/internal/provider"
 	"repro/internal/signal"
 )
 
@@ -168,6 +171,142 @@ func TestScenarioCacheHitsAndDeterminism(t *testing.T) {
 	}
 	if cache.Hits() == 0 || cache.BytesSaved() == 0 {
 		t.Errorf("shared cache counters: hits=%d saved=%d", cache.Hits(), cache.BytesSaved())
+	}
+}
+
+// failoverCacheCfg returns a 2-replica ER configuration whose first
+// replica dies mid-run (connection reset after resetAfter writes,
+// redials refused), forcing a failover the rmi layer heals through
+// reconnect + journal replay.
+func failoverCacheCfg(t *testing.T, cache *EstimationCache, resetAfter int) Config {
+	t.Helper()
+	cfg := chaosCfg(2, 8)
+	cfg.Cache = cache
+	cfg.ReplicaDialers = func(provs []*provider.Provider) []func() (net.Conn, error) {
+		cs := netsim.ScriptedSchedule(1,
+			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(resetAfter), RefuseFrom: 1},
+			netsim.ReplicaScript{Kind: netsim.ChaosNone, RefuseFrom: -1},
+		)
+		return []func() (net.Conn, error){
+			cs.Dialer(0, PipeDialer(provs[0])),
+			cs.Dialer(1, PipeDialer(provs[1])),
+		}
+	}
+	return cfg
+}
+
+// TestCacheStaysArmedAcrossHealedFailover is the latched-off regression
+// contract from the failover work: transport faults the rmi layer HEALS
+// (retry, reconnect, journal replay, replica failover) never reach the
+// estimator as batch errors, so the cache must stay armed — observable
+// as commits landing after the failover. Only an unhealable loss (a
+// batch that actually died) may latch the cache off.
+func TestCacheStaysArmedAcrossHealedFailover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 30
+	_, plainSamples := scenarioSamples(t, cfg)
+
+	cache := NewEstimationCache()
+	res, coldSamples := scenarioSamples(t, failoverCacheCfg(t, cache, 9))
+	if res.Failovers < 1 {
+		t.Fatalf("failovers = %d; the scripted kill never forced one", res.Failovers)
+	}
+	if res.Power.Degraded {
+		t.Fatal("healed failover degraded the run")
+	}
+	if !reflect.DeepEqual(plainSamples, coldSamples) {
+		t.Error("failover run's values diverged from the clean run")
+	}
+	// The armed-cache proof: commits landed after the failover too.
+	if cache.Size() != cfg.Patterns {
+		t.Errorf("cache holds %d values after the run, want %d — a healed failover latched it off", cache.Size(), cfg.Patterns)
+	}
+
+	// And the populated cache serves a clean repeat run bit-identically.
+	repeatCfg := cfg
+	repeatCfg.Cache = cache
+	repeat, repeatSamples := scenarioSamples(t, repeatCfg)
+	if repeat.CacheHits == 0 {
+		t.Fatal("repeat run on the failover-populated cache produced no hits")
+	}
+	if !reflect.DeepEqual(plainSamples, repeatSamples) {
+		t.Error("cache populated across a failover served diverged values")
+	}
+}
+
+// TestWarmCacheReplayDebtSurvivesFailover drives a WARM cache through a
+// mid-run failover: early batches hit locally (accumulating replay
+// debt), the connection dies, and the journal replay — which carries
+// only transmitted batches — must still leave the provider's history
+// consistent with the debt-carrying stream. Values must stay
+// bit-identical and further commits remain sound.
+func TestWarmCacheReplayDebtSurvivesFailover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.Patterns = 30
+	_, plainSamples := scenarioSamples(t, cfg)
+
+	// Warm the cache with a clean run over HALF the stimulus: the pattern
+	// stream is seeded, so the short run's history is a strict prefix of
+	// the long run's, and the failover run opens on cache hits (building
+	// replay debt) before its first real transmission — which the scripted
+	// kill then interrupts mid-flight, debt and all.
+	cache := NewEstimationCache()
+	warmCfg := cfg
+	warmCfg.Patterns = cfg.Patterns / 2
+	warmCfg.Cache = cache
+	scenarioSamples(t, warmCfg)
+	if cache.Size() != warmCfg.Patterns {
+		t.Fatalf("warm-up cached %d values, want %d", cache.Size(), warmCfg.Patterns)
+	}
+
+	// Most of the warm run's traffic is served from cache, so the kill
+	// must land early in write terms: handshake plus the first replayed
+	// transmission already clear five writes.
+	res, samples := scenarioSamples(t, failoverCacheCfg(t, cache, 5))
+	if res.Failovers < 1 {
+		t.Fatalf("failovers = %d; the scripted kill never forced one", res.Failovers)
+	}
+	if res.CacheHits == 0 || res.CacheMisses == 0 {
+		t.Fatalf("test premise broken: hits=%d misses=%d, want both nonzero", res.CacheHits, res.CacheMisses)
+	}
+	if !reflect.DeepEqual(plainSamples, samples) {
+		t.Error("warm-cache failover run diverged from the clean run")
+	}
+	if cache.Size() != cfg.Patterns {
+		t.Errorf("cache holds %d values, want %d refilled", cache.Size(), cfg.Patterns)
+	}
+}
+
+// TestCacheLatchesOffOnLostBatch pins the other half of the contract:
+// when a transmitted batch is genuinely LOST (provider declared dead),
+// the provider-side history chain has irrecoverably diverged, so the
+// latch is permanent and nothing from the broken run commits.
+func TestCacheLatchesOffOnLostBatch(t *testing.T) {
+	cache := NewEstimationCache()
+	cfg := resilientCfg()
+	r := DefaultResilience()
+	cfg.Resilience = &r
+	cfg.Cache = cache
+	_, via := faultDialer([]*netsim.FaultPlan{
+		netsim.ResetAfterWrites(9),
+		netsim.ResetAfterWrites(1),
+		netsim.ResetAfterWrites(1),
+		netsim.ResetAfterWrites(1),
+	})
+	cfg.DialVia = via
+	res, err := Run(EstimatorRemote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Power.Degraded {
+		t.Fatal("test premise broken: run did not lose its provider")
+	}
+	// Nothing after the lost batch may commit. Values cached before the
+	// loss are fine — their histories were truly executed.
+	if cache.Size() >= cfg.Patterns {
+		t.Errorf("cache holds %d values after a lost batch, want fewer than %d", cache.Size(), cfg.Patterns)
 	}
 }
 

@@ -82,13 +82,43 @@ type RemotePowerEstimator struct {
 	// Content-addressed estimation cache (EnableCache). The session
 	// carries this estimator's rolling history chain; cacheOff latches
 	// when a remote error leaves the provider's simulator state unknown —
-	// serving further hits against a diverged history would be unsound.
+	// serving further hits against a diverged history would be unsound,
+	// and the latch is PERMANENT for the session: once a transmitted
+	// batch is lost, the provider-side history chain has irrecoverably
+	// diverged from ours, so no later provider state can be trusted to
+	// match our keys again. (Transport faults the rmi layer heals —
+	// retry, reconnect, journal replay, replica failover — never surface
+	// here as errors and leave the cache armed.) cacheEpoch guards the
+	// window between a batch's preparation and its commit: a job prepared
+	// before a failure must not commit values computed after it.
 	cacheStore *EstimationCache
 	cache      *cacheSession
 	cacheOff   atomic.Bool
+	cacheEpoch atomic.Uint64
 	cacheHits  atomic.Int64
 	cacheMiss  atomic.Int64
 	cacheSaved atomic.Int64
+
+	// Hedged estimation (EnableHedge): a second bound instance on its own
+	// clean session. A primary batch unanswered after hedgeAfter is
+	// re-issued there — with the full pattern history the hedge has not
+	// yet executed as a catch-up prefix, since power values depend on
+	// history — and the first answer is recorded. hedgeHist is the
+	// complete logical pattern stream in batch order; hedgePos is the
+	// prefix the hedge instance has executed. A hedge error marks the
+	// hedge broken for the rest of the run and never fails the batch.
+	hedgeInst   *iplib.BoundInstance
+	hedgeAfter  time.Duration
+	hedgeMu     sync.Mutex
+	hedgeHist   [][]signal.Bit
+	hedgePos    int
+	hedgeBroken bool
+	// pendingPrimary holds the in-flight outcome of a primary batch the
+	// hedge outran. At most one primary is ever outstanding: the next
+	// hedged batch (and Close) consumes it before enqueueing another, so
+	// power batches stay strictly serialized on the wire — the property
+	// the reconnect journal replay depends on.
+	pendingPrimary chan primaryOutcome
 
 	// Nonblocking batches flow through a single ordered dispatcher
 	// goroutine: batches reach the wire — and their results are recorded
@@ -122,6 +152,20 @@ type batchJob struct {
 	prefix int
 	// keys address the trailing len(keys) reply values for cache commit.
 	keys []cacheKey
+	// epoch is the cache-consistency epoch the job was prepared under; a
+	// failed batch bumps the epoch, invalidating commits from jobs that
+	// straddle the failure.
+	epoch uint64
+	// hedgeEnd is the hedge-history length including this batch (0 when
+	// hedging is off).
+	hedgeEnd int
+}
+
+// primaryOutcome is the deferred result of a primary batch the hedge
+// outran.
+type primaryOutcome struct {
+	vals []float64
+	err  error
 }
 
 // NewRemotePowerEstimator builds the estimator from a provider offer.
@@ -165,6 +209,22 @@ func (e *RemotePowerEstimator) EnableCache(store *EstimationCache) {
 	e.cacheStore = store
 	fp := fmt.Sprintf("%s|%s|%s|%d", e.method, e.inst.Component(), e.Name, e.inst.Width())
 	e.cache = store.newSession(fp)
+}
+
+// EnableHedge arms hedged estimation batches: a primary batch still
+// unanswered after the given duration is re-issued to inst — a bound
+// instance of the SAME component on a second replica, reached over its
+// own clean session — and the first answer wins. Replica estimators are
+// deterministic, so results are bit-identical whichever side answers.
+// Call before the first Estimate; a nil instance or non-positive
+// duration leaves hedging disabled. Hedging is skipped for SkipCompute
+// runs (there is no latency worth hiding in an acknowledgement).
+func (e *RemotePowerEstimator) EnableHedge(inst *iplib.BoundInstance, after time.Duration) {
+	if inst == nil || after <= 0 {
+		return
+	}
+	e.hedgeInst = inst
+	e.hedgeAfter = after
 }
 
 // Estimate implements estim.Estimator: it snapshots the component's input
@@ -259,8 +319,19 @@ func (e *RemotePowerEstimator) dispatchTaken(batch [][]signal.Bit) {
 // as a catch-up prefix ahead of the batch, so the provider's stateful
 // simulator sees the complete pattern history.
 func (e *RemotePowerEstimator) prepareJob(batch [][]signal.Bit) batchJob {
+	hedgeEnd := 0
+	if e.hedgeInst != nil && !e.SkipCompute {
+		// The hedge history is the logical batch stream — including
+		// batches the cache later resolves locally, because a hedged miss
+		// must still present the complete history to the hedge replica's
+		// stateful simulator.
+		e.hedgeMu.Lock()
+		e.hedgeHist = append(e.hedgeHist, batch...)
+		hedgeEnd = len(e.hedgeHist)
+		e.hedgeMu.Unlock()
+	}
 	if e.cache == nil || e.SkipCompute || e.cacheOff.Load() {
-		return batchJob{send: batch}
+		return batchJob{send: batch, epoch: e.cacheEpoch.Load(), hedgeEnd: hedgeEnd}
 	}
 	vals, keys, hit := e.cache.lookup(batch)
 	if hit {
@@ -287,7 +358,7 @@ func (e *RemotePowerEstimator) prepareJob(batch [][]signal.Bit) batchJob {
 	if len(replay) > 0 {
 		send = append(append(make([][]signal.Bit, 0, len(replay)+len(batch)), replay...), batch...)
 	}
-	return batchJob{send: send, prefix: len(replay), keys: keys}
+	return batchJob{send: send, prefix: len(replay), keys: keys, epoch: e.cacheEpoch.Load(), hedgeEnd: hedgeEnd}
 }
 
 // startDispatcher lazily launches the single ordered-dispatch goroutine.
@@ -311,21 +382,134 @@ func (e *RemotePowerEstimator) runJob(j batchJob) {
 		e.recordBatch(j.vals, nil)
 		return
 	}
-	vals, err := e.execBatch(j.send)
+	vals, fromHedge, err := e.execBatchMaybeHedged(j)
 	if err != nil {
 		// The provider's simulator state is now unknown relative to our
-		// history chain; later cache hits against it would be unsound.
+		// history chain; later cache hits against it would be unsound —
+		// permanently, since a lost batch means the provider-side history
+		// can never re-converge with ours. The epoch bump additionally
+		// invalidates commits from already-prepared jobs that straddle
+		// this failure.
 		e.cacheOff.Store(true)
+		e.cacheEpoch.Add(1)
 		e.recordBatch(nil, err)
 		return
 	}
-	if j.prefix > 0 && len(vals) >= j.prefix {
+	if fromHedge {
+		// The hedge already returned exactly the batch's values; the
+		// catch-up prefix was trimmed by runHedge.
+	} else if j.prefix > 0 && len(vals) >= j.prefix {
 		vals = vals[j.prefix:] // discard catch-up values (already served from cache)
 	}
-	if e.cache != nil && len(j.keys) > 0 && !e.cacheOff.Load() {
+	if e.cache != nil && len(j.keys) > 0 && !e.cacheOff.Load() && j.epoch == e.cacheEpoch.Load() {
 		e.cacheStore.commit(j.keys, vals)
 	}
 	e.recordBatch(vals, nil)
+}
+
+// execBatchMaybeHedged runs one job's pattern sequence, racing a hedge
+// replica against a slow primary when hedging is armed. It returns the
+// winning values and whether they came from the hedge (hedge values are
+// already trimmed to the batch; primary values still carry the catch-up
+// prefix).
+func (e *RemotePowerEstimator) execBatchMaybeHedged(j batchJob) ([]float64, bool, error) {
+	if e.hedgeInst == nil || e.SkipCompute || j.hedgeEnd == 0 {
+		vals, err := e.execBatch(j.send)
+		return vals, false, err
+	}
+	// Serialize primary batches: a primary the previous hedge outran may
+	// still be on the wire, and the provider's ordered batch methods —
+	// and the reconnect journal replay — require one outstanding power
+	// batch at a time.
+	e.drainPendingPrimary()
+	prim := make(chan primaryOutcome, 1)
+	send := j.send
+	go func() {
+		vals, err := e.execBatch(send)
+		prim <- primaryOutcome{vals: vals, err: err}
+	}()
+	timer := time.NewTimer(e.hedgeAfter)
+	select {
+	case r := <-prim:
+		timer.Stop()
+		return r.vals, false, r.err
+	case <-timer.C:
+	}
+	hvals, ok := e.runHedge(j)
+	meter := e.inst.Meter()
+	if !ok {
+		// No usable hedge (broken, or it failed): wait out the primary.
+		if meter != nil {
+			meter.AddHedgedBatch(false)
+		}
+		r := <-prim
+		return r.vals, false, r.err
+	}
+	// If the primary answered while the hedge ran, prefer it — that
+	// keeps the pending-primary handoff empty. Identical values either
+	// way: replicas are deterministic.
+	select {
+	case r := <-prim:
+		if r.err == nil {
+			if meter != nil {
+				meter.AddHedgedBatch(false)
+			}
+			return r.vals, false, nil
+		}
+		if meter != nil {
+			meter.AddHedgedBatch(true)
+		}
+		return hvals, true, nil
+	default:
+	}
+	if meter != nil {
+		meter.AddHedgedBatch(true)
+	}
+	e.hedgeMu.Lock()
+	e.pendingPrimary = prim
+	e.hedgeMu.Unlock()
+	return hvals, true, nil
+}
+
+// drainPendingPrimary waits out a primary batch a previous hedge outran.
+// Its values were superseded by the hedge's recorded answer; an error is
+// equally moot — the epoch poison it caused heals through the normal
+// reconnect path on the next call.
+func (e *RemotePowerEstimator) drainPendingPrimary() {
+	e.hedgeMu.Lock()
+	prim := e.pendingPrimary
+	e.pendingPrimary = nil
+	e.hedgeMu.Unlock()
+	if prim != nil {
+		<-prim
+	}
+}
+
+// runHedge issues one hedged batch: the slice of the logical pattern
+// history the hedge instance has not yet executed (catch-up prefix plus
+// the batch itself), trimmed to the batch's trailing values on success.
+// Failure marks the hedge broken for the rest of the run — hedging is a
+// latency optimization, never a correctness dependency.
+func (e *RemotePowerEstimator) runHedge(j batchJob) ([]float64, bool) {
+	e.hedgeMu.Lock()
+	if e.hedgeBroken || j.hedgeEnd <= e.hedgePos {
+		e.hedgeMu.Unlock()
+		return nil, false
+	}
+	seq := append([][]signal.Bit(nil), e.hedgeHist[e.hedgePos:j.hedgeEnd]...)
+	e.hedgeMu.Unlock()
+	vals, err := e.hedgeInst.PowerBatch(seq, false)
+	batchLen := len(j.send) - j.prefix
+	if err != nil || len(vals) < batchLen {
+		e.hedgeMu.Lock()
+		e.hedgeBroken = true
+		e.hedgeMu.Unlock()
+		return nil, false
+	}
+	e.hedgeMu.Lock()
+	e.hedgePos = j.hedgeEnd
+	e.hedgeMu.Unlock()
+	return vals[len(vals)-batchLen:], true
 }
 
 // recordBatch takes the lock and records one completed batch.
@@ -411,6 +595,9 @@ func (e *RemotePowerEstimator) Close() error {
 	//lint:ignore simdeterminism the drain is metered wall time for the CPU/real report split; it never feeds signal values.
 	start := time.Now()
 	e.wg.Wait()
+	// A final hedge win may have left its slow primary on the wire; its
+	// outcome is superseded but the goroutine must retire with the run.
+	e.drainPendingPrimary()
 	if m := e.inst.Meter(); m != nil {
 		m.AddBlocked(time.Since(start))
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/netsim"
 	"repro/internal/provider"
+	"repro/internal/replica"
 	"repro/internal/rmi"
 	"repro/internal/sim"
 )
@@ -84,6 +85,29 @@ type Config struct {
 	// content-addressed cache instead of the provider (see
 	// EstimationCache). Values are bit-identical with or without it.
 	Cache *EstimationCache
+	// Replicas is the provider replica count for the remote scenarios:
+	// 0 or 1 runs the classic single provider, N > 1 stands up N
+	// equivalent providers behind health-gated failover (ConnectReplicated)
+	// so a dying provider re-routes the session — journal replay included —
+	// to the next healthy replica. Results are bit-identical at any count
+	// while at least one replica stays reachable.
+	Replicas int
+	// ReplicaDialers, when non-nil, maps the run's replica providers to
+	// their transport dialers — the chaos harness interposes scripted
+	// fault dialers here. It is called once per run with the freshly built
+	// providers, so concurrent grid cells never share schedule state. nil
+	// uses in-process pipes.
+	ReplicaDialers func(provs []*provider.Provider) []func() (net.Conn, error)
+	// Breaker tunes the per-replica circuit breakers (zero fields use
+	// production defaults).
+	Breaker replica.BreakerConfig
+	// BreakerClock injects the breakers' time source for deterministic
+	// tests; nil uses the wall clock.
+	BreakerClock replica.Clock
+	// HedgeAfter arms hedged estimation batches when Replicas >= 2: a
+	// batch unanswered after this duration is re-issued to a second
+	// replica and the first answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
 }
 
 // DefaultConfig returns the paper's experimental parameters.
@@ -125,6 +149,16 @@ type Result struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheBytesSaved int64
+	// Failovers counts replica failovers during the measured window;
+	// HedgedBatches/HedgeWins count estimation batches re-issued to a
+	// second replica and those the hedge answered first (all zero for
+	// single-provider runs).
+	Failovers     int64
+	HedgedBatches int64
+	HedgeWins     int64
+	// ReplicaStatuses snapshots per-replica health after the run (nil for
+	// single-provider runs).
+	ReplicaStatuses []replica.Status
 	// PowerSamples counts per-pattern power values received remotely.
 	PowerSamples int
 	// Power is the full remote estimation report (nil for AL), including
@@ -164,6 +198,7 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		mult   module.Module
 		remote *RemotePowerEstimator
 		conn   *Connection
+		rset   *replica.Set
 	)
 	if s == AllLocal {
 		m := module.NewMult("MULT", cfg.Width, ar, br, o)
@@ -177,18 +212,48 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		})
 		mult = m
 	} else {
-		prov := provider.New("provider1")
-		if err := prov.Register(provider.MultFastLowPower()); err != nil {
-			return nil, err
-		}
-		dial := PipeDialer(prov)
-		if cfg.DialVia != nil {
-			dial = cfg.DialVia(prov)
-		}
-		var err error
-		conn, err = ConnectVia(prov, "designer", cfg.Profile, dial)
-		if err != nil {
-			return nil, err
+		var hedgeProv *provider.Provider
+		if cfg.Replicas > 1 {
+			// Replicated deployment: N equivalent providers behind
+			// health-gated failover.
+			provs := make([]*provider.Provider, cfg.Replicas)
+			for i := range provs {
+				provs[i] = provider.New(fmt.Sprintf("provider%d", i+1))
+				if err := provs[i].Register(provider.MultFastLowPower()); err != nil {
+					return nil, err
+				}
+			}
+			dials := make([]func() (net.Conn, error), len(provs))
+			if cfg.ReplicaDialers != nil {
+				dials = cfg.ReplicaDialers(provs)
+				if len(dials) != len(provs) {
+					return nil, fmt.Errorf("core: ReplicaDialers returned %d dialers for %d providers", len(dials), len(provs))
+				}
+			} else {
+				for i, p := range provs {
+					dials[i] = PipeDialer(p)
+				}
+			}
+			var err error
+			conn, rset, err = ConnectReplicated(provs, "designer", cfg.Profile, dials, cfg.Breaker, cfg.BreakerClock)
+			if err != nil {
+				return nil, err
+			}
+			hedgeProv = provs[len(provs)-1]
+		} else {
+			prov := provider.New("provider1")
+			if err := prov.Register(provider.MultFastLowPower()); err != nil {
+				return nil, err
+			}
+			dial := PipeDialer(prov)
+			if cfg.DialVia != nil {
+				dial = cfg.DialVia(prov)
+			}
+			var err error
+			conn, err = ConnectVia(prov, "designer", cfg.Profile, dial)
+			if err != nil {
+				return nil, err
+			}
 		}
 		defer conn.Close()
 		conn.Client.RPC.MaxInFlight = cfg.InFlight
@@ -213,6 +278,22 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		remote = NewRemotePowerEstimator(inst, offer, cfg.BufferSize, cfg.Nonblocking)
 		remote.SkipCompute = cfg.SkipCompute
 		remote.EnableCache(cfg.Cache)
+		if cfg.HedgeAfter > 0 && hedgeProv != nil {
+			// The hedge rides its own clean session to one replica — a
+			// plain pipe, never the failover transport (which chaos tests
+			// script) — so a hedge can answer even while the primary path
+			// is mid-reconnect.
+			hconn, err := ConnectVia(hedgeProv, "designer-hedge", cfg.Profile, PipeDialer(hedgeProv))
+			if err != nil {
+				return nil, err
+			}
+			defer hconn.Close()
+			hinst, err := hconn.Client.Bind("MultFastLowPower", cfg.Width, nil)
+			if err != nil {
+				return nil, err
+			}
+			remote.EnableHedge(hinst, cfg.HedgeAfter)
+		}
 		switch s {
 		case EstimatorRemote:
 			m := module.NewMult("MULT", cfg.Width, ar, br, o)
@@ -282,6 +363,12 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 		res.CacheHits = conn.Meter.CacheHits()
 		res.CacheMisses = conn.Meter.CacheMisses()
 		res.CacheBytesSaved = conn.Meter.CacheBytesSaved()
+		res.Failovers = conn.Meter.Failovers()
+		res.HedgedBatches = conn.Meter.HedgedBatches()
+		res.HedgeWins = conn.Meter.HedgeWins()
+		if rset != nil {
+			res.ReplicaStatuses = rset.Statuses()
+		}
 		fees, err := conn.Client.Fees()
 		switch {
 		case err == nil:

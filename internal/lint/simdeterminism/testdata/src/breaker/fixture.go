@@ -1,0 +1,34 @@
+// Package fixture exercises the simdeterminism analyzer in the replica
+// scope. It is loaded under the fake import path
+// repro/internal/replica/fixture: circuit breakers must read time
+// through their injected Clock so chaos tests can freeze it — a direct
+// time.Now() CALL defeats the injection, while naming time.Now as a
+// VALUE (the production default for the Clock field) is exactly how the
+// seam is wired and must stay legal.
+package fixture
+
+import "time"
+
+// clock is the injectable time source, mirroring replica.Clock.
+type clock func() time.Time
+
+// defaultClock assigns time.Now as a value: the sanctioned production
+// default. No call happens here, so the analyzer must stay quiet.
+var defaultClock clock = time.Now
+
+type breaker struct {
+	now      clock
+	openedAt time.Time
+}
+
+func (b *breaker) tripInjected() {
+	b.openedAt = b.now() // reading through the injected seam is fine
+}
+
+func (b *breaker) tripWallClock() {
+	b.openedAt = time.Now() // want "time.Now in simulation kernel code"
+}
+
+func halfOpenEligible(b *breaker, openFor time.Duration) bool {
+	return time.Now().Sub(b.openedAt) >= openFor // want "time.Now in simulation kernel code"
+}

@@ -12,6 +12,11 @@ import (
 // or truncation. Transports treat it like any peer reset.
 var ErrInjectedReset = errors.New("netsim: injected connection reset")
 
+// ErrInjectedPartial is the error surfaced by a scripted partial write:
+// some bytes reached the peer, the rest never will, and the connection
+// is still open — the stream is torn mid-frame without a socket error.
+var ErrInjectedPartial = errors.New("netsim: injected partial write")
+
 // FaultOp selects which transport operation a fault rule triggers on.
 type FaultOp int
 
@@ -50,6 +55,18 @@ const (
 	// FaultDelay sleeps Delay before performing the operation — a
 	// latency spike (expired deadlines without connection loss).
 	FaultDelay
+	// FaultPartial performs only Keep bytes of a write and reports
+	// ErrInjectedPartial with the short count, but leaves the connection
+	// OPEN — the torn-write case a codec must treat as fatal for the
+	// stream without the comfort of a closed socket. On a read it
+	// degenerates to a legal 1-byte short read (streams may always
+	// return fewer bytes than asked).
+	FaultPartial
+	// FaultSlowDrip performs the operation one byte at a time, sleeping
+	// Delay between bytes — a pathologically slow peer that stays
+	// protocol-correct. Writes drip the whole buffer; reads return one
+	// byte per call after the delay.
+	FaultSlowDrip
 )
 
 func (k FaultKind) String() string {
@@ -62,6 +79,10 @@ func (k FaultKind) String() string {
 		return "truncate"
 	case FaultDelay:
 		return "delay"
+	case FaultPartial:
+		return "partial"
+	case FaultSlowDrip:
+		return "slow-drip"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -116,6 +137,24 @@ func TruncateWrite(n, keep int) *FaultPlan {
 // DelayRead returns a plan stalling the nth read by d — a delay spike.
 func DelayRead(n int, d time.Duration) *FaultPlan {
 	return &FaultPlan{Rules: []FaultRule{{Op: OnRead, Nth: n, Kind: FaultDelay, Delay: d}}}
+}
+
+// PartialWrite returns a plan tearing the nth write after keep bytes
+// while leaving the connection open.
+func PartialWrite(n, keep int) *FaultPlan {
+	return &FaultPlan{Rules: []FaultRule{{Op: OnWrite, Nth: n, Kind: FaultPartial, Keep: keep}}}
+}
+
+// SlowDripWrite returns a plan dripping the nth write byte-at-a-time
+// with perByte between bytes.
+func SlowDripWrite(n int, perByte time.Duration) *FaultPlan {
+	return &FaultPlan{Rules: []FaultRule{{Op: OnWrite, Nth: n, Kind: FaultSlowDrip, Delay: perByte}}}
+}
+
+// SlowDripRead returns a plan turning the nth read into a delayed
+// single-byte read.
+func SlowDripRead(n int, perByte time.Duration) *FaultPlan {
+	return &FaultPlan{Rules: []FaultRule{{Op: OnRead, Nth: n, Kind: FaultSlowDrip, Delay: perByte}}}
 }
 
 // Wrap returns conn with the plan applied. A nil plan returns a
@@ -191,6 +230,26 @@ func (c *FaultyConn) Write(p []byte) (int, error) {
 	case FaultDelay:
 		time.Sleep(r.Delay)
 		return c.Conn.Write(p)
+	case FaultPartial:
+		keep := r.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = c.Conn.Write(p[:keep])
+		}
+		return n, fmt.Errorf("write %v: %w", r, ErrInjectedPartial)
+	case FaultSlowDrip:
+		for i := range p {
+			if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+				return i, err
+			}
+			if r.Delay > 0 {
+				time.Sleep(r.Delay)
+			}
+		}
+		return len(p), nil
 	}
 	return c.Conn.Write(p)
 }
@@ -208,6 +267,15 @@ func (c *FaultyConn) Read(p []byte) (int, error) {
 	case FaultDelay:
 		time.Sleep(r.Delay)
 		return c.Conn.Read(p)
+	case FaultPartial, FaultSlowDrip:
+		// A legal short read: one byte, after the drip delay.
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if len(p) == 0 {
+			return c.Conn.Read(p)
+		}
+		return c.Conn.Read(p[:1])
 	default: // Drop, Reset, Truncate all collapse to a reset on reads.
 		c.Conn.Close()
 		return 0, fmt.Errorf("read %v: %w", r, ErrInjectedReset)

@@ -15,6 +15,11 @@ import (
 	"repro/internal/security"
 )
 
+// errSuperseded marks the deliberate replacement of a transport epoch
+// during reconnect — an administrative teardown, not a replica failure,
+// so the OnEpochFail hook never sees it.
+var errSuperseded = errors.New("rmi: connection superseded")
+
 // countingConn wraps a net.Conn and tracks bytes in each direction, so
 // the client can compute per-call transfer sizes for the network
 // emulator. After the pumps start, written is touched only by the writer
@@ -101,6 +106,19 @@ type Client struct {
 	// (the legacy stop-and-wait behavior, and the determinism baseline).
 	// Set it before issuing concurrent calls; it is read per call.
 	MaxInFlight int
+	// OnEpochFail, when non-nil, observes each genuine transport-epoch
+	// failure — deliberate supersession during reconnect and client
+	// Close are filtered out. It is the replica layer's breaker feed
+	// (one penalty per poisoned epoch, however many calls it took
+	// down). The hook runs on the failing goroutine with no client
+	// locks held; it must not call back into the Client.
+	OnEpochFail func(err error)
+	// OnAttempt, when non-nil, observes every completed wire attempt:
+	// the method, its measured round-trip time (send-queue wait through
+	// response decode, before any emulated-profile padding), and the
+	// outcome. Retried calls report once per attempt. The replica layer
+	// uses it to feed per-replica EWMA latency.
+	OnAttempt func(method string, rtt time.Duration, err error)
 
 	key security.Key // for session re-handshake on reconnect
 
@@ -404,8 +422,12 @@ func (c *Client) exchange(method string, args PortData, payload []byte, reply an
 	if err != nil {
 		return 0, 0, err
 	}
+	wireStart := time.Now()
 	<-pc.done
 	sent, recvd = int(pc.sent.Load()), int(pc.recvd.Load())
+	if h := c.OnAttempt; h != nil {
+		h(method, time.Since(wireStart), pc.err)
+	}
 	if pc.err != nil {
 		return sent, recvd, pc.err
 	}
@@ -444,8 +466,10 @@ func (c *Client) reconnectLocked() error {
 	}
 	if c.tr != nil {
 		// Idempotent if the epoch already failed; otherwise this fails
-		// any stragglers and closes the old conn.
-		_ = c.tr.fail(errors.New("rmi: connection superseded"))
+		// any stragglers and closes the old conn. errSuperseded is
+		// filtered from the OnEpochFail hook: replacement is not a
+		// replica failure.
+		_ = c.tr.fail(errSuperseded)
 	}
 	conn, err := c.Redial()
 	if err != nil {

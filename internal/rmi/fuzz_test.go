@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/security"
 )
 
@@ -86,6 +87,87 @@ func FuzzDecode(f *testing.F) {
 		// The payload helper must be equally robust.
 		var env echoReq
 		_ = Decode(data, &env)
+	})
+}
+
+// FuzzMuxFaultyConn drives the pipelined transport over a connection
+// with fuzz-chosen injected faults — torn partial writes, byte-at-a-time
+// slow drips, resets, and drops at fuzzed operation counts — against a
+// well-behaved echo peer. Every in-flight call must resolve (successfully
+// or with the epoch fault) without a panic or hang: the per-call deadline
+// is the backstop for swallowed and torn frames.
+func FuzzMuxFaultyConn(f *testing.F) {
+	f.Add(uint8(netsim.FaultPartial), uint8(0), uint8(1), uint8(3))
+	f.Add(uint8(netsim.FaultSlowDrip), uint8(0), uint8(2), uint8(0))
+	f.Add(uint8(netsim.FaultSlowDrip), uint8(1), uint8(1), uint8(0))
+	f.Add(uint8(netsim.FaultReset), uint8(0), uint8(4), uint8(0))
+	f.Add(uint8(netsim.FaultDrop), uint8(0), uint8(2), uint8(0))
+	f.Add(uint8(netsim.FaultTruncate), uint8(0), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, kind, op, nth, keep uint8) {
+		key, err := security.NewKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvConn, cliConn := net.Pipe()
+		go func() {
+			defer srvConn.Close()
+			dec := gob.NewDecoder(srvConn)
+			enc := gob.NewEncoder(srvConn)
+			var hello frame
+			if dec.Decode(&hello) != nil {
+				return
+			}
+			if enc.Encode(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
+				return
+			}
+			for {
+				var req frame
+				if dec.Decode(&req) != nil {
+					return
+				}
+				var body echoReq
+				resp := frame{Kind: kindResponse, ID: req.ID}
+				if err := Decode(req.Payload, &body); err != nil {
+					resp.Err = err.Error()
+				} else if p, err := Encode(echoResp{Bits: body.Bits}); err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Payload = p
+				}
+				if enc.Encode(&resp) != nil {
+					return
+				}
+			}
+		}()
+		plan := &netsim.FaultPlan{Rules: []netsim.FaultRule{{
+			Op:    netsim.FaultOp(op % 2),
+			Nth:   1 + int(nth%8),
+			Kind:  netsim.FaultKind(kind % 6),
+			Delay: 50 * time.Microsecond,
+			Keep:  int(keep % 16),
+		}}}
+		fc := plan.Wrap(cliConn)
+		cli, err := NewClient(fc, "user", key)
+		if err != nil {
+			fc.Close()
+			srvConn.Close()
+			return // a fault during the handshake is a non-event
+		}
+		defer cli.Close()
+		cli.Timeout = 200 * time.Millisecond
+		cli.MaxInFlight = 4
+		var pending []*Pending
+		for i := 0; i < 6; i++ {
+			resp := new(echoResp)
+			pending = append(pending, cli.Go("m", echoReq{Note: "fuzz"}, resp))
+		}
+		for i, p := range pending {
+			select {
+			case <-p.Done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("call %d hung on faulty connection (fault %v)", i, plan.Rules[0])
+			}
+		}
 	})
 }
 

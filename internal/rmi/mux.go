@@ -2,6 +2,7 @@ package rmi
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -278,6 +279,14 @@ func (m *mux) fail(err error) error {
 	m.slotFree.Broadcast()
 	m.sendRdy.Broadcast()
 	m.mu.Unlock()
+	// Report the epoch death to the failover layer exactly once, before
+	// resolving the orphans: by the time any caller retries (and the
+	// client redials), the replica set has already charged the breaker.
+	// Administrative teardowns — client Close, epoch supersession during
+	// reconnect — are not replica failures and are filtered out.
+	if h := m.c.OnEpochFail; h != nil && !errors.Is(err, errClientClosed) && !errors.Is(err, errSuperseded) {
+		h(err)
+	}
 	closeErr := m.conn.Close()
 	for _, pc := range orphans {
 		if pc.timer != nil {

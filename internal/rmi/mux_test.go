@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/netsim"
 	"repro/internal/signal"
 )
@@ -42,6 +43,7 @@ func TestPipelinedCallsAtDepths(t *testing.T) {
 	for _, depth := range []int{1, 4, 32} {
 		depth := depth
 		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			leakcheck.Check(t) // the mux pumps must all unwind on close
 			cli := newPipelinePair(t, 8, 10*time.Millisecond)
 			cli.MaxInFlight = depth
 			const calls = 32
@@ -187,6 +189,7 @@ func TestUnknownResponseIDFailsAllInFlight(t *testing.T) {
 // the retry/reconnect ladder and ultimately succeeds on the replacement
 // connection.
 func TestMidPipelineDisconnectHealsEveryCall(t *testing.T) {
+	leakcheck.Check(t) // reconnect must not orphan the dead epoch's pumps
 	cli, dialer, calls := newFaultServer(t, []*netsim.FaultPlan{netsim.ResetAfterWrites(9), nil})
 	cli.MaxInFlight = 8
 	const n = 16

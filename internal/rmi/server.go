@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/security"
@@ -90,9 +91,17 @@ type Server struct {
 	ordered  map[string]bool
 	keys     map[string]security.Key
 	sessions map[string]*Session
+	conns    map[net.Conn]*connState
 	nextSess uint64
 	closed   bool
 	ln       net.Listener
+}
+
+// connState tracks one live connection's in-flight request count, the
+// unit graceful drain waits on: a request is in flight from the moment
+// it is decoded until its response has been written back.
+type connState struct {
+	inflight atomic.Int64
 }
 
 // NewServer returns an empty server.
@@ -103,6 +112,7 @@ func NewServer(name string) *Server {
 		ordered:  make(map[string]bool),
 		keys:     make(map[string]security.Key),
 		sessions: make(map[string]*Session),
+		conns:    make(map[net.Conn]*connState),
 	}
 }
 
@@ -197,9 +207,79 @@ func (s *Server) Close() error {
 	defer s.mu.Unlock()
 	s.closed = true
 	if s.ln != nil {
-		return s.ln.Close()
+		// Drain already closed the listener on the graceful path; a
+		// second close is a clean no-op, not a shutdown failure.
+		if err := s.ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			return err
+		}
 	}
 	return nil
+}
+
+// register enrolls a live connection in the drain ledger; it returns
+// nil when the server is already closed or draining (the caller must
+// abandon the connection without serving it).
+func (s *Server) register(conn net.Conn) *connState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	st := &connState{}
+	s.conns[conn] = st
+	return st
+}
+
+// unregister removes a connection from the drain ledger.
+func (s *Server) unregister(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Drain shuts the server down gracefully: the listener closes (no new
+// sessions), every in-flight request — decoded but not yet answered —
+// runs to completion and has its response written, and each connection
+// is closed the moment it goes idle. A connection still mid-request at
+// the timeout is force-closed, which a resilient client experiences as
+// a poisoned epoch; within the timeout, a draining server never cuts a
+// batch mid-flight. Drain returns nil when every connection finished
+// cleanly, and an error naming the force-closed count otherwise.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		for conn, st := range s.conns {
+			if st.inflight.Load() == 0 {
+				conn.Close()
+				delete(s.conns, conn)
+			}
+		}
+		busy := len(s.conns)
+		s.mu.Unlock()
+		if busy == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	forced := len(s.conns)
+	for conn := range s.conns {
+		conn.Close()
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+	return fmt.Errorf("rmi: drain timed out after %v: force-closed %d busy connection(s)", timeout, forced)
 }
 
 // logf logs through Logf; the default is silence.
@@ -213,6 +293,11 @@ func (s *Server) logf(format string, args ...any) {
 // and in-process deployments via net.Pipe).
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	st := s.register(conn)
+	if st == nil {
+		return // closed or draining: no new sessions
+	}
+	defer s.unregister(conn)
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 
@@ -237,7 +322,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 
 	if s.SessionWorkers > 1 {
-		s.serveConcurrent(conn, dec, enc, sess)
+		s.serveConcurrent(conn, st, dec, enc, sess)
 		return
 	}
 	for {
@@ -251,8 +336,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			return
 		}
+		st.inflight.Add(1)
 		resp := s.dispatch(sess, &req)
-		if err := enc.Encode(resp); err != nil {
+		err := enc.Encode(resp)
+		st.inflight.Add(-1)
+		if err != nil {
 			return
 		}
 	}
@@ -265,7 +353,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 // and one response writer serializes all responses back onto the gob
 // stream in completion order (the pipelined client correlates them by
 // frame ID, so response order is free).
-func (s *Server) serveConcurrent(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, sess *Session) {
+func (s *Server) serveConcurrent(conn net.Conn, st *connState, dec *gob.Decoder, enc *gob.Encoder, sess *Session) {
 	workers := s.SessionWorkers
 	respCh := make(chan *frame, workers+1)
 	workCh := make(chan *frame)
@@ -275,11 +363,14 @@ func (s *Server) serveConcurrent(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	go func() { // response writer: sole owner of enc
 		defer close(writerDone)
 		for resp := range respCh {
-			if err := enc.Encode(resp); err != nil {
+			err := enc.Encode(resp)
+			st.inflight.Add(-1) // answered (or abandoned): no longer drain-relevant
+			if err != nil {
 				// The write side is gone; close the conn so the request
 				// loop stops, then drain so no handler blocks on respCh.
 				conn.Close()
 				for range respCh {
+					st.inflight.Add(-1)
 				}
 				return
 			}
@@ -315,6 +406,7 @@ func (s *Server) serveConcurrent(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 			}
 			break
 		}
+		st.inflight.Add(1)
 		if s.isOrdered(req.Method) {
 			orderCh <- req
 		} else {

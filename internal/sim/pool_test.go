@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/leakcheck"
 )
 
 func TestPoolSize(t *testing.T) {
@@ -132,6 +134,7 @@ func TestPoolSerialStopsAtFirstError(t *testing.T) {
 // TestPoolBoundedConcurrency: no more than Workers goroutines may be in
 // fn simultaneously.
 func TestPoolBoundedConcurrency(t *testing.T) {
+	leakcheck.Check(t) // every pool worker must exit with For
 	const workers = 3
 	var cur, peak atomic.Int32
 	err := Pool{Workers: workers}.For(100, func(i int) error {
