@@ -3,7 +3,7 @@ FUZZTIME ?= 15s
 BENCHTIME ?= 1s
 BENCHDATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race fuzz vet lint vuln bench smoke-bench chaos ci clean
+.PHONY: all build test race fuzz vet lint vuln bench smoke-bench chaos shards ci clean
 
 all: build test
 
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzMuxResponses$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzMuxFaultyConn$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzPartitionCircuit$$' -fuzztime=$(FUZZTIME) ./internal/shard/
 
 # Deterministic chaos sweep under the race detector: seeded replica
 # fault schedules (kill, partition, slow-drip, flap) across replica
@@ -52,6 +53,13 @@ fuzz:
 chaos:
 	$(GO) test -race -count=1 -run='Chaos|Hedged|Failover|Quorum' ./internal/core/ ./internal/netsim/ ./internal/fault/
 	$(GO) test -race -count=1 ./internal/replica/
+
+# Sharded-execution determinism gate under the race detector: the shard
+# engine's unit matrix plus the scenario-level determinism matrix —
+# every cell asserts byte-identical results against the single-scheduler
+# baseline across shard counts, worker counts and window sizes.
+shards:
+	$(GO) test -race -count=1 -run='Shard|Partition|Generate' ./internal/shard/ ./internal/core/
 
 # Full benchmark sweep with allocation stats, archived as a dated JSON
 # snapshot (one go-test event per line) for regression comparison.
@@ -64,7 +72,7 @@ bench:
 smoke-bench:
 	$(GO) test -run='^$$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
 
-ci: build vet lint test race chaos fuzz smoke-bench vuln
+ci: build vet lint test race chaos shards fuzz smoke-bench vuln
 
 clean:
 	$(GO) clean ./...

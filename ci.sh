@@ -24,11 +24,15 @@ echo "==> chaos sweep (seeded replica fault schedules under -race)"
 go test -race -count=1 -run='Chaos|Hedged|Failover|Quorum' ./internal/core/ ./internal/netsim/ ./internal/fault/
 go test -race -count=1 ./internal/replica/
 
+echo "==> sharded-execution determinism matrix under -race"
+go test -race -count=1 -run='Shard|Partition|Generate' ./internal/shard/ ./internal/core/
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzFrameRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxResponses$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxFaultyConn$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+go test -run='^$' -fuzz='^FuzzPartitionCircuit$' -fuzztime="${FUZZTIME}" ./internal/shard/
 
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/shard"
+)
+
+// TestShardDeterminismMatrix is the headline proof of the sharded
+// engine: for every paper scenario and for seeded generated designs
+// larger than any paper benchmark, partitioning the design across N
+// concurrent schedulers produces a byte-identical Result fingerprint to
+// the single-scheduler baseline, for every shard count and worker
+// count. Run under -race by `make shards`.
+func TestShardDeterminismMatrix(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 8}
+
+	// Part 1: the Table 2 scenario grid. Each cell's baseline is the
+	// classic run (Shards = 0); every sharded variant must reproduce its
+	// fingerprint — products, power samples, fees, traffic — exactly.
+	cells := []struct {
+		name     string
+		scenario Scenario
+		profile  netsim.Profile
+	}{
+		{"AL/in-process", AllLocal, netsim.InProcess},
+		{"ER/in-process", EstimatorRemote, netsim.InProcess},
+		{"MR/in-process", MultiplierRemote, netsim.InProcess},
+		{"ER/local", EstimatorRemote, netsim.Local},
+	}
+	for _, cell := range cells {
+		cfg := smallConfig()
+		cfg.Patterns = 40
+		cfg.Profile = cell.profile
+		base, err := Run(cell.scenario, cfg)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", cell.name, err)
+		}
+		want := base.Fingerprint()
+		for _, shards := range shardCounts {
+			for _, workers := range []int{1, 0} {
+				scfg := cfg
+				scfg.Shards = shards
+				scfg.ShardWorkers = workers
+				res, err := RunSharded(cell.scenario, scfg, shards)
+				if err != nil {
+					t.Fatalf("%s shards=%d workers=%d: %v", cell.name, shards, workers, err)
+				}
+				if got := res.Fingerprint(); got != want {
+					t.Fatalf("%s shards=%d workers=%d fingerprint diverged\n got %s\nwant %s",
+						cell.name, shards, workers, got, want)
+				}
+			}
+		}
+	}
+
+	// Part 2: seeded generated hierarchical circuits, including one much
+	// larger than the Figure 2 design the paper benchmarks. The sharded
+	// observation streams must match the classic run byte for byte.
+	specs := []GenSpec{
+		{}, // defaults: 4 inputs, 3 layers, 4 ops each
+		{Inputs: 6, Layers: 4, LayerOps: 6, Width: 12, Patterns: 60},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		for si, spec := range specs {
+			circuit, outs := GenerateCircuitRand(rand.New(rand.NewSource(seed)), spec)
+			want, err := ClassicCircuitFingerprint(circuit, outs, 0)
+			if err != nil {
+				t.Fatalf("seed=%d spec=%d baseline: %v", seed, si, err)
+			}
+			for _, shards := range shardCounts {
+				got, stats, err := ShardedCircuitFingerprint(circuit, outs,
+					shard.Options{Shards: shards})
+				if err != nil {
+					t.Fatalf("seed=%d spec=%d shards=%d: %v", seed, si, shards, err)
+				}
+				if got != want {
+					t.Fatalf("seed=%d spec=%d shards=%d diverged from single-scheduler run",
+						seed, si, shards)
+				}
+				if stats.Delivered == 0 {
+					t.Fatalf("seed=%d spec=%d shards=%d: empty run", seed, si, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardWindowInvarianceScenario is the conservative-window property
+// at the scenario level: any synchronization window — from the default
+// runahead down to a barrier every instant — yields the identical
+// result fingerprint; the window trades barriers for runahead, never
+// correctness.
+func TestShardWindowInvarianceScenario(t *testing.T) {
+	cfg := smallConfig()
+	base, err := Run(EstimatorRemote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Fingerprint()
+	for _, window := range []int{0, 8, 1} {
+		scfg := cfg
+		scfg.Shards = 2
+		scfg.ShardWindow = window
+		res, err := Run(EstimatorRemote, scfg)
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		if got := res.Fingerprint(); got != want {
+			t.Fatalf("window=%d fingerprint diverged", window)
+		}
+	}
+}
+
+// TestShardEstimationCacheRegression: an estimation cache shared across
+// sharded runs must behave exactly as it does classically — a cold
+// sharded run only misses, a warm sharded run serves hits off the wire,
+// and every run's power values stay bit-identical to the uncached
+// classic baseline. The cache's chained batch keys depend on pattern
+// history order, so this is also a regression test that sharding
+// preserves batch order.
+func TestShardEstimationCacheRegression(t *testing.T) {
+	cfg := smallConfig()
+	_, plainSamples := scenarioSamples(t, cfg)
+
+	cache := NewEstimationCache()
+	cfg.Cache = cache
+	cfg.Shards = 3
+	cold, coldSamples := scenarioSamples(t, cfg)
+	if cold.CacheHits != 0 {
+		t.Errorf("cold sharded run reported %d cache hits", cold.CacheHits)
+	}
+	if cold.CacheMisses == 0 {
+		t.Error("cold sharded run metered no cache misses")
+	}
+	if !reflect.DeepEqual(plainSamples, coldSamples) {
+		t.Error("enabling the cache changed the cold sharded run's values")
+	}
+
+	warm, warmSamples := scenarioSamples(t, cfg)
+	if warm.CacheHits == 0 {
+		t.Fatal("warm sharded run produced no cache hits")
+	}
+	if warm.Calls >= cold.Calls {
+		t.Errorf("warm sharded run made %d calls, cold made %d; hits did not stay off the wire",
+			warm.Calls, cold.Calls)
+	}
+	if !reflect.DeepEqual(plainSamples, warmSamples) {
+		t.Error("cache-served sharded values diverged from remote values")
+	}
+
+	// The warmed cache must serve a classic run too: batch keys chain the
+	// same way regardless of which engine replayed the patterns.
+	cfg.Shards = 0
+	classicWarm, classicSamples := scenarioSamples(t, cfg)
+	if classicWarm.CacheHits == 0 {
+		t.Fatal("classic run against shard-warmed cache produced no hits")
+	}
+	if !reflect.DeepEqual(plainSamples, classicSamples) {
+		t.Error("classic run against shard-warmed cache diverged")
+	}
+}

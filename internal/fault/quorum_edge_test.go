@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestQuorumTwoReplicaTie: with two replicas answering differently there
+// is no majority — the documented tie-break is the lowest replica index,
+// so the winner is replica 0 whichever replica is the corrupted one, and
+// the other replica is recorded divergent.
+func TestQuorumTwoReplicaTie(t *testing.T) {
+	d, err := Figure4Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := d.NewVirtual().Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamperedRef, err := func() (*Result, error) {
+		vs := quorumFig4(t, tamperedService{freshFig4Service(t)})
+		return vs.Run(fig4Patterns(t))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered replica at index 0: the tie resolves to its answer.
+	vs := quorumFig4(t, tamperedService{freshFig4Service(t)}, freshFig4Service(t))
+	res, err := vs.Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetections(t, tamperedRef, res)
+	if len(res.Divergences) == 0 {
+		t.Fatal("tie recorded no divergence")
+	}
+	for _, dv := range res.Divergences {
+		if dv.Replica != 1 {
+			t.Errorf("tie blames replica %d, want the non-winning index 1: %+v", dv.Replica, dv)
+		}
+	}
+
+	// Tampered replica at index 1: the tie resolves to the pristine
+	// answer, and the tampered replica is the one reported.
+	vs = quorumFig4(t, freshFig4Service(t), tamperedService{freshFig4Service(t)})
+	res, err = vs.Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetections(t, pristine, res)
+	for _, dv := range res.Divergences {
+		if dv.Replica != 1 {
+			t.Errorf("tie blames replica %d, want 1: %+v", dv.Replica, dv)
+		}
+	}
+}
+
+// TestQuorumSingleReplica: a quorum of one is a pass-through — same
+// detections as the bare service, no divergences, no errors.
+func TestQuorumSingleReplica(t *testing.T) {
+	d, err := Figure4Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := d.NewVirtual().Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := quorumFig4(t, freshFig4Service(t))
+	res, err := vs.Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetections(t, ref, res)
+	if len(res.Divergences) != 0 {
+		t.Fatalf("single-replica quorum reported divergences: %+v", res.Divergences)
+	}
+}
+
+// TestQuorumModuleStampOnGeneratedDesign: divergence records carry the
+// design instance name even on generated (non-paper) circuits — the
+// virtual simulator stamps each divergence with the host module it
+// drained, here the U1 IP of a seeded random two-IP design.
+func TestQuorumModuleStampOnGeneratedDesign(t *testing.T) {
+	const nGates, seed = 8, 5
+	freshU1 := func() TestabilityService {
+		t.Helper()
+		d, err := RandomTwoIPDesign(nGates, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Hosts[0].Service
+	}
+
+	d, err := RandomTwoIPDesign(nGates, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := d.NewVirtual().Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := RandomTwoIPDesign(nGates, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuorumTestability(freshU1(), tamperedService{freshU1()}, freshU1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Hosts[0].Service = q
+	res, err := d2.NewVirtual().Run(fig4Patterns(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetections(t, ref, res)
+	if len(res.Divergences) == 0 {
+		t.Fatal("tampered replica on a generated design went unreported")
+	}
+	for _, dv := range res.Divergences {
+		if dv.Module != "U1" {
+			t.Errorf("divergence module %q, want U1: %+v", dv.Module, dv)
+		}
+		if dv.Replica != 1 {
+			t.Errorf("divergence blames replica %d, want 1: %+v", dv.Replica, dv)
+		}
+	}
+}

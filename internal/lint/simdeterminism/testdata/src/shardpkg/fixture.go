@@ -1,0 +1,41 @@
+// Package fixture exercises the simdeterminism analyzer under the fake
+// import path repro/internal/shard/fixture, pinning the shard engine
+// into the check's scope: a wall clock or an unseeded random source in
+// barrier or merge code would break bit-identity across shard counts,
+// and map-range order feeding the capture merge would break it across
+// runs.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func barrierDeadline() time.Time {
+	return time.Now() // want "time.Now in simulation kernel code"
+}
+
+func randomShardPick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn source`
+}
+
+func seededPartitionOK(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func mergeOrder(owners map[string]int) []string {
+	var merged []string
+	for name := range owners {
+		merged = append(merged, name) // want "append to an accumulator declared outside this map range"
+	}
+	return merged
+}
+
+func sortedMergeOK(captures []string) []string {
+	var merged []string
+	for _, c := range captures {
+		merged = append(merged, c)
+	}
+	return merged
+}

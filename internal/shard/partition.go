@@ -1,0 +1,294 @@
+// Package shard partitions one hierarchical design across several
+// concurrent schedulers and re-merges their event streams so the run is
+// bit-identical to a single-scheduler simulation at any shard count.
+//
+// The paper's kernel permits "concurrent independent schedulers over one
+// design" because every module keeps per-scheduler state; this package
+// turns that permission into a distribution topology: a Partitioner cuts
+// the module hierarchy by connector-cut cost, each shard owns its own
+// scheduler, and a coordinator exchanges cross-shard tokens at
+// conservative lower-bound-timestamp barriers. Delivery order inside a
+// simulation instant is reconstructed exactly (see engine.go), which is
+// what makes the merged result provably identical to the one-scheduler
+// run — the invariant the shard determinism test matrix enforces.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/module"
+	"repro/internal/sim"
+)
+
+// Plan is a partition of a circuit's leaves into shards.
+type Plan struct {
+	// Leaves is the design's leaf list in global (depth-first) order —
+	// the canonical order every determinism argument is anchored to.
+	Leaves []module.Module
+	// Assign maps a leaf's global index to its shard.
+	Assign []int
+	// Shards lists each shard's leaves, preserving global order within
+	// the shard.
+	Shards [][]module.Module
+	// Cut lists every connector whose two ends live in different shards,
+	// each exactly once, in global leaf/port discovery order.
+	Cut []*module.Connector
+	// CutCost is the summed width of the cut connectors — the objective
+	// the greedy partitioner minimizes.
+	CutCost int
+
+	owner map[sim.Handler]int
+}
+
+// NumShards returns the number of shards in the plan.
+func (p *Plan) NumShards() int { return len(p.Shards) }
+
+// Owner returns the shard owning a handler (a leaf module or its
+// embedded skeleton), with ok=false for handlers outside the plan.
+func (p *Plan) Owner(h sim.Handler) (int, bool) {
+	if s, ok := p.owner[h]; ok {
+		return s, true
+	}
+	if b, ok := h.(interface{ Base() *module.Skeleton }); ok {
+		if s, ok := p.owner[b.Base()]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// skeletonOf returns the handler identity tokens are addressed to: the
+// module's embedded skeleton (ports record it as their owner).
+func skeletonOf(m module.Module) sim.Handler {
+	if b, ok := m.(interface{ Base() *module.Skeleton }); ok {
+		return b.Base()
+	}
+	return m
+}
+
+// PartitionCircuit cuts the circuit's leaves into n shards by greedy
+// balanced growth over the connector graph: each shard is seeded with the
+// lowest-index unassigned leaf and grown by repeatedly absorbing the
+// unassigned leaf with the strongest connection (summed connector width)
+// to the shard, ties resolved to the lowest leaf index, until the shard
+// reaches its balanced target size. The result is deterministic for a
+// given circuit and n. n larger than the leaf count is clamped.
+func PartitionCircuit(c *module.Circuit, n int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: %d shards requested", n)
+	}
+	leaves := c.Leaves()
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("shard: circuit %q has no leaf modules", c.ModuleName())
+	}
+	if n > len(leaves) {
+		n = len(leaves)
+	}
+
+	// Leaf index by skeleton identity, for resolving connector peers.
+	idxOf := make(map[sim.Handler]int, len(leaves))
+	for i, m := range leaves {
+		idxOf[skeletonOf(m)] = i
+	}
+
+	// Neighbor lists with summed connector widths, built by iterating
+	// ports in declaration order so the lists are deterministic.
+	type edge struct{ to, w int }
+	neighbors := make([][]edge, len(leaves))
+	for i, m := range leaves {
+		at := make(map[int]int) // neighbor index -> position in neighbors[i]
+		for _, p := range m.Ports() {
+			conn := p.Connector()
+			if conn == nil {
+				continue
+			}
+			peer := conn.Peer(p)
+			if peer == nil {
+				continue
+			}
+			j, ok := idxOf[peer.Owner()]
+			if !ok || j == i {
+				continue
+			}
+			w := conn.Width
+			if w < 1 {
+				w = 1
+			}
+			if pos, ok := at[j]; ok {
+				neighbors[i][pos].w += w
+			} else {
+				at[j] = len(neighbors[i])
+				neighbors[i] = append(neighbors[i], edge{to: j, w: w})
+			}
+		}
+	}
+
+	assign := make([]int, len(leaves))
+	for i := range assign {
+		assign[i] = -1
+	}
+	gain := make([]int, len(leaves))
+	remaining := len(leaves)
+	for s := 0; s < n; s++ {
+		for i := range gain {
+			gain[i] = 0
+		}
+		target := (remaining + (n - s) - 1) / (n - s)
+		for size := 0; size < target; size++ {
+			// Strongest-connected unassigned leaf; zero-gain fallback and
+			// ties both resolve to the lowest index.
+			pick, best := -1, -1
+			for i := range leaves {
+				if assign[i] != -1 {
+					continue
+				}
+				if gain[i] > best {
+					pick, best = i, gain[i]
+				}
+			}
+			if pick == -1 {
+				break
+			}
+			assign[pick] = s
+			remaining--
+			for _, e := range neighbors[pick] {
+				if assign[e.to] == -1 {
+					gain[e.to] += e.w
+				}
+			}
+		}
+	}
+
+	p := &Plan{
+		Leaves: leaves,
+		Assign: assign,
+		Shards: make([][]module.Module, n),
+		owner:  make(map[sim.Handler]int, 2*len(leaves)),
+	}
+	for i, m := range leaves {
+		s := assign[i]
+		p.Shards[s] = append(p.Shards[s], m)
+		p.owner[m] = s
+		p.owner[skeletonOf(m)] = s
+	}
+	// Cut connectors, each exactly once (a membership set deduplicates
+	// the two discovery directions).
+	seen := make(map[*module.Connector]bool)
+	for i, m := range leaves {
+		for _, port := range m.Ports() {
+			conn := port.Connector()
+			if conn == nil || seen[conn] {
+				continue
+			}
+			peer := conn.Peer(port)
+			if peer == nil {
+				continue
+			}
+			j, ok := idxOf[peer.Owner()]
+			if !ok || assign[j] == assign[i] {
+				continue
+			}
+			seen[conn] = true
+			p.Cut = append(p.Cut, conn)
+			w := conn.Width
+			if w < 1 {
+				w = 1
+			}
+			p.CutCost += w
+		}
+	}
+	return p, nil
+}
+
+// Validate checks the plan against the circuit it claims to partition:
+// every leaf covered exactly once, assignments consistent between Assign
+// and Shards, and the cut holding exactly the shard-crossing connectors
+// with no duplicates. The fuzz target drives arbitrary generated
+// hierarchies through this.
+func (p *Plan) Validate(c *module.Circuit) error {
+	leaves := c.Leaves()
+	if len(leaves) != len(p.Leaves) || len(p.Assign) != len(leaves) {
+		return fmt.Errorf("shard: plan covers %d leaves, circuit has %d", len(p.Leaves), len(leaves))
+	}
+	seen := make(map[module.Module]int)
+	total := 0
+	for s, ms := range p.Shards {
+		for _, m := range ms {
+			seen[m]++
+			total++
+			if got, ok := p.Owner(m); !ok || got != s {
+				return fmt.Errorf("shard: leaf %s listed in shard %d but owned by %d", m.ModuleName(), s, got)
+			}
+		}
+	}
+	if total != len(leaves) {
+		return fmt.Errorf("shard: plan places %d leaves, want %d", total, len(leaves))
+	}
+	for i, m := range leaves {
+		if seen[m] != 1 {
+			return fmt.Errorf("shard: leaf %s covered %d times", m.ModuleName(), seen[m])
+		}
+		if p.Leaves[i] != m {
+			return fmt.Errorf("shard: plan leaf order diverges from circuit at %d (%s)", i, m.ModuleName())
+		}
+		if s := p.Assign[i]; s < 0 || s >= len(p.Shards) {
+			return fmt.Errorf("shard: leaf %s assigned to invalid shard %d", m.ModuleName(), s)
+		}
+	}
+	// Recompute the crossing set and compare it to the plan's cut.
+	idxOf := make(map[sim.Handler]int, len(leaves))
+	for i, m := range leaves {
+		idxOf[skeletonOf(m)] = i
+	}
+	want := make(map[*module.Connector]bool)
+	cost := 0
+	for i, m := range leaves {
+		for _, port := range m.Ports() {
+			conn := port.Connector()
+			if conn == nil || want[conn] {
+				continue
+			}
+			peer := conn.Peer(port)
+			if peer == nil {
+				continue
+			}
+			j, ok := idxOf[peer.Owner()]
+			if !ok || p.Assign[j] == p.Assign[i] {
+				continue
+			}
+			want[conn] = true
+			if conn.Width < 1 {
+				cost++
+			} else {
+				cost += conn.Width
+			}
+		}
+	}
+	if len(p.Cut) != len(want) || p.CutCost != cost {
+		return fmt.Errorf("shard: cut has %d connectors cost %d, want %d cost %d",
+			len(p.Cut), p.CutCost, len(want), cost)
+	}
+	got := make(map[*module.Connector]int)
+	for _, conn := range p.Cut {
+		got[conn]++
+		if got[conn] > 1 {
+			return fmt.Errorf("shard: connector %q duplicated in cut", conn.Name)
+		}
+		if !want[conn] {
+			return fmt.Errorf("shard: connector %q in cut but not shard-crossing", conn.Name)
+		}
+	}
+	// Determinism spot check: shard sizes differ by at most the greedy
+	// imbalance bound (ceil split), i.e. the plan is balanced.
+	sizes := make([]int, len(p.Shards))
+	for s, ms := range p.Shards {
+		sizes[s] = len(ms)
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	if len(sorted) > 0 && sorted[0] == 0 {
+		return fmt.Errorf("shard: empty shard in plan (sizes %v)", sizes)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/module"
+)
+
+func TestPartitionRejectsBadInput(t *testing.T) {
+	circuit, _ := buildStaggered(5)
+	if _, err := PartitionCircuit(circuit, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := PartitionCircuit(circuit, -2); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if _, err := PartitionCircuit(module.NewCircuit("empty"), 2); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+}
+
+func TestPartitionClampsToLeafCount(t *testing.T) {
+	circuit, _ := buildStaggered(5)
+	n := len(circuit.Leaves())
+	p, err := PartitionCircuit(circuit, n+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != n {
+		t.Fatalf("got %d shards for %d leaves, want clamp to %d", p.NumShards(), n, n)
+	}
+	if err := p.Validate(circuit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionCoversAndBalances(t *testing.T) {
+	circuit, _ := buildStaggered(5)
+	leaves := len(circuit.Leaves())
+	for n := 1; n <= leaves; n++ {
+		p, err := PartitionCircuit(circuit, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := p.Validate(circuit); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		min, max := leaves, 0
+		for _, s := range p.Shards {
+			if len(s) < min {
+				min = len(s)
+			}
+			if len(s) > max {
+				max = len(s)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: shard sizes spread %d..%d, want balanced within 1", n, min, max)
+		}
+	}
+}
+
+// TestPartitionIsDeterministic: the same circuit and shard count always
+// produce the identical assignment and cut.
+func TestPartitionIsDeterministic(t *testing.T) {
+	circuit, _ := buildStaggered(5)
+	first, err := PartitionCircuit(circuit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := PartitionCircuit(circuit, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p.Assign, first.Assign) {
+			t.Fatalf("run %d assignment %v differs from %v", i, p.Assign, first.Assign)
+		}
+		if len(p.Cut) != len(first.Cut) || p.CutCost != first.CutCost {
+			t.Fatalf("run %d cut %d/%d differs from %d/%d",
+				i, len(p.Cut), p.CutCost, len(first.Cut), first.CutCost)
+		}
+		for j := range p.Cut {
+			if p.Cut[j] != first.Cut[j] {
+				t.Fatalf("run %d cut order differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestPartitionPrefersConnectivity: splitting two disconnected datapaths
+// into two shards must cut nothing — the greedy growth follows connector
+// weight, so each datapath lands whole in one shard.
+func TestPartitionPrefersConnectivity(t *testing.T) {
+	circuit, _ := buildStaggered(5)
+	p, err := PartitionCircuit(circuit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CutCost != 0 || len(p.Cut) != 0 {
+		t.Fatalf("two disconnected datapaths cut with cost %d (%d connectors); want 0",
+			p.CutCost, len(p.Cut))
+	}
+}
+
+// TestPlanOwnerResolvesSkeletons: ownership lookups work both by module
+// value and by the embedded skeleton tokens are addressed to.
+func TestPlanOwnerResolvesSkeletons(t *testing.T) {
+	circuit, outs := buildStaggered(5)
+	p, err := PartitionCircuit(circuit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range outs {
+		byModule, ok1 := p.Owner(out)
+		bySkeleton, ok2 := p.Owner(out.Base())
+		if !ok1 || !ok2 || byModule != bySkeleton {
+			t.Fatalf("owner lookup diverges for %s: module %d,%v skeleton %d,%v",
+				out.ModuleName(), byModule, ok1, bySkeleton, ok2)
+		}
+	}
+	if _, ok := p.Owner(module.NewPrimaryOutput("stranger", 1, nil)); ok {
+		t.Fatal("foreign module resolved to an owner")
+	}
+}

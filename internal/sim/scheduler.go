@@ -115,6 +115,13 @@ type Scheduler struct {
 
 	hooks []InstantHook
 
+	// intercept, when non-nil, sees every token entering Post after the
+	// causality check. Returning true consumes the token: it is neither
+	// sequenced nor enqueued, and ownership passes to the intercept. A
+	// sharding coordinator installs one to capture cross-scheduler posts
+	// and re-inject them with globally assigned sequence stamps.
+	intercept func(Token) bool
+
 	// Stats
 	delivered uint64
 	maxQueue  int
@@ -172,11 +179,82 @@ func (s *Scheduler) Post(tok Token) {
 	if tok.When() < s.now {
 		panic(fmt.Sprintf("sim: token scheduled at %d, before current time %d", tok.When(), s.now))
 	}
+	if s.intercept != nil && s.intercept(tok) {
+		return
+	}
 	s.seq++
 	s.queue.push(scheduledToken{tok: tok, seq: s.seq})
 	if len(s.queue) > s.maxQueue {
 		s.maxQueue = len(s.queue)
 	}
+}
+
+// SetPostIntercept installs (or, with nil, removes) the scheduler's post
+// intercept. While installed, every token passing the causality check is
+// offered to fn before sequencing; fn returning true consumes it.
+func (s *Scheduler) SetPostIntercept(fn func(Token) bool) { s.intercept = fn }
+
+// PostSequenced enqueues a token under a caller-assigned sequence stamp,
+// bypassing the scheduler's own counter and the post intercept. This is
+// the injection half of the sharding protocol: a coordinator that merged
+// captured posts from several schedulers re-posts each one here with its
+// globally agreed (time, seq) rank, so same-instant delivery order is
+// identical to the order one scheduler would have produced. Stamps must
+// be unique per (time, seq) pair; the causality rule still applies.
+func (s *Scheduler) PostSequenced(tok Token, seq uint64) {
+	if tok.When() < s.now {
+		panic(fmt.Sprintf("sim: token scheduled at %d, before current time %d", tok.When(), s.now))
+	}
+	s.queue.push(scheduledToken{tok: tok, seq: seq})
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+}
+
+// NextEventTime returns the time of the earliest pending token, or
+// ok=false when the queue is empty — the lower-bound timestamp a
+// conservative synchronization window is computed from.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].tok.When(), true
+}
+
+// PopDue removes and returns the earliest pending token together with
+// its sequence stamp, provided it is scheduled exactly at t; ok=false
+// when the queue is empty or the head is later. Combined with Deliver
+// this is the bounded-step API: an external coordinator drains one
+// instant of one scheduler without ceding control of global time.
+func (s *Scheduler) PopDue(t Time) (Token, uint64, bool) {
+	if len(s.queue) == 0 || s.queue[0].tok.When() != t {
+		return nil, 0, false
+	}
+	it := s.queue.popMin()
+	return it.tok, it.seq, true
+}
+
+// Deliver dispatches one token exactly as the run loop would: overrides
+// and tracing are honoured, the delivered counter advances, and pooled
+// signal tokens are recycled. ctx must belong to this scheduler (nil
+// uses a fresh context).
+func (s *Scheduler) Deliver(ctx *Context, tok Token) {
+	if ctx == nil {
+		ctx = s.NewContext()
+	}
+	s.deliver(ctx, tok)
+}
+
+// AdvanceTo moves the scheduler's clock to t without delivering
+// anything. Coordinators call it before stepping an instant so that
+// handlers observing ctx.Now() — and the causality check guarding Post —
+// see the global time. Moving the clock backwards panics.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if s.started && t < s.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) behind current time %d", t, s.now))
+	}
+	s.started = true
+	s.now = t
 }
 
 // Pending returns the number of tokens waiting in the queue.

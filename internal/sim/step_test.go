@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestPostInterceptCapturesAndConsumes: an installed intercept sees every
+// posted token after the causality check; consumed tokens never reach the
+// queue and do not advance the sequence counter, while refused tokens are
+// sequenced normally.
+func TestPostInterceptCapturesAndConsumes(t *testing.T) {
+	s := NewScheduler()
+	r := &recorder{name: "r"}
+	var captured []Token
+	s.SetPostIntercept(func(tok Token) bool {
+		if st, ok := tok.(*SelfToken); ok && st.Tag == "capture" {
+			captured = append(captured, tok)
+			return true
+		}
+		return false
+	})
+	s.Post(&SelfToken{T: 1, Dst: r, Tag: "capture"})
+	s.Post(&SelfToken{T: 1, Dst: r, Tag: "keep"})
+	s.Post(&SelfToken{T: 2, Dst: r, Tag: "capture"})
+	if len(captured) != 2 {
+		t.Fatalf("intercept captured %d tokens, want 2", len(captured))
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("queue holds %d tokens, want 1 (captured tokens must not enqueue)", s.Pending())
+	}
+	s.SetPostIntercept(nil)
+	s.Post(&SelfToken{T: 3, Dst: r, Tag: "capture"})
+	if s.Pending() != 2 {
+		t.Fatalf("queue holds %d tokens after removing intercept, want 2", s.Pending())
+	}
+	if len(captured) != 2 {
+		t.Fatalf("removed intercept still captured (%d tokens)", len(captured))
+	}
+}
+
+// TestPostInterceptStillChecksCausality: interception happens after the
+// past-time panic, so a coordinator can never capture a corrupt token.
+func TestPostInterceptStillChecksCausality(t *testing.T) {
+	s := NewScheduler()
+	r := &recorder{name: "r"}
+	s.Post(&SelfToken{T: 5, Dst: r})
+	if err := s.Run(nil, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPostIntercept(func(Token) bool { return true })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("posting a past-time token with an intercept installed did not panic")
+		}
+	}()
+	s.Post(&SelfToken{T: 1, Dst: r})
+}
+
+// TestPostSequencedOrdersDelivery: caller-assigned stamps, not posting
+// order, decide same-instant delivery order.
+func TestPostSequencedOrdersDelivery(t *testing.T) {
+	s := NewScheduler()
+	a := &recorder{name: "a"}
+	s.PostSequenced(&SelfToken{T: 10, Dst: a, Tag: "third"}, 30)
+	s.PostSequenced(&SelfToken{T: 10, Dst: a, Tag: "first"}, 10)
+	s.PostSequenced(&SelfToken{T: 10, Dst: a, Tag: "second"}, 20)
+	if err := s.Run(nil, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third"}
+	if len(a.got) != len(want) {
+		t.Fatalf("delivered %d tokens, want %d", len(a.got), len(want))
+	}
+	for i, tok := range a.got {
+		if tag := tok.(*SelfToken).Tag; tag != want[i] {
+			t.Fatalf("delivery %d is %q, want %q", i, tag, want[i])
+		}
+	}
+}
+
+// TestStepAPIDrainsOneInstant: NextEventTime + PopDue + Deliver walk one
+// instant by hand, equivalent to what Run would do, leaving later
+// instants untouched.
+func TestStepAPIDrainsOneInstant(t *testing.T) {
+	s := NewScheduler()
+	r := &recorder{name: "r"}
+	s.Post(&SelfToken{T: 10, Dst: r, Tag: "x"})
+	s.Post(&SelfToken{T: 10, Dst: r, Tag: "y"})
+	s.Post(&SelfToken{T: 20, Dst: r, Tag: "later"})
+
+	next, ok := s.NextEventTime()
+	if !ok || next != 10 {
+		t.Fatalf("NextEventTime = %d,%v, want 10,true", next, ok)
+	}
+	s.AdvanceTo(next)
+	ctx := s.NewContext()
+	var seqs []uint64
+	for {
+		tok, seq, ok := s.PopDue(next)
+		if !ok {
+			break
+		}
+		seqs = append(seqs, seq)
+		s.Deliver(ctx, tok)
+	}
+	if len(seqs) != 2 || seqs[0] >= seqs[1] {
+		t.Fatalf("instant 10 popped seqs %v, want 2 ascending stamps", seqs)
+	}
+	if got := r.count(); got != 2 {
+		t.Fatalf("delivered %d tokens, want 2", got)
+	}
+	if s.Delivered() != 2 {
+		t.Fatalf("Delivered() = %d, want 2", s.Delivered())
+	}
+	if next, ok := s.NextEventTime(); !ok || next != 20 {
+		t.Fatalf("NextEventTime after draining instant 10 = %d,%v, want 20,true", next, ok)
+	}
+	if _, _, ok := s.PopDue(10); ok {
+		t.Fatal("PopDue(10) returned a token from instant 20")
+	}
+	if r.times[0] != 10 || r.times[1] != 10 {
+		t.Fatalf("handlers saw Now()=%v, want 10 for both", r.times)
+	}
+}
+
+// TestAdvanceToGuardsRegression: the clock may move forward freely but
+// never backwards once started.
+func TestAdvanceToGuardsRegression(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(5)
+	s.AdvanceTo(5) // same instant is fine
+	s.AdvanceTo(9)
+	if s.Now() != 9 {
+		t.Fatalf("Now() = %d, want 9", s.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo backwards did not panic")
+		}
+	}()
+	s.AdvanceTo(3)
+}
+
+// TestStepMatchesRun: hand-stepping an entire multi-instant cascade via
+// the step API produces the same per-handler delivery order as Run. The
+// cascade reposts at the same instant, so FIFO same-instant semantics are
+// exercised, not just time ordering.
+func TestStepMatchesRun(t *testing.T) {
+	build := func() (*Scheduler, *recorder) {
+		s := NewScheduler()
+		r := &recorder{name: "r"}
+		r.onToken = func(ctx *Context, tok Token) {
+			st := tok.(*SelfToken)
+			if st.Tag == "seedling" {
+				ctx.Post(&SelfToken{T: ctx.Now(), Dst: r, Tag: "child"})
+				ctx.Post(&SelfToken{T: ctx.Now() + 5, Dst: r, Tag: "future"})
+			}
+		}
+		s.Post(&SelfToken{T: 10, Dst: r, Tag: "seedling"})
+		s.Post(&SelfToken{T: 10, Dst: r, Tag: "plain"})
+		return s, r
+	}
+
+	sRun, rRun := build()
+	if err := sRun.Run(nil, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	sStep, rStep := build()
+	ctx := sStep.NewContext()
+	for {
+		next, ok := sStep.NextEventTime()
+		if !ok {
+			break
+		}
+		sStep.AdvanceTo(next)
+		for {
+			tok, _, ok := sStep.PopDue(next)
+			if !ok {
+				break
+			}
+			sStep.Deliver(ctx, tok)
+		}
+	}
+
+	if len(rRun.got) != len(rStep.got) {
+		t.Fatalf("Run delivered %d, step API delivered %d", len(rRun.got), len(rStep.got))
+	}
+	for i := range rRun.got {
+		a, b := rRun.got[i].(*SelfToken), rStep.got[i].(*SelfToken)
+		if a.Tag != b.Tag || rRun.times[i] != rStep.times[i] {
+			t.Fatalf("delivery %d: Run %s@%d vs step %s@%d",
+				i, a.Tag, rRun.times[i], b.Tag, rStep.times[i])
+		}
+	}
+}
