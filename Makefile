@@ -3,7 +3,7 @@ FUZZTIME ?= 15s
 BENCHTIME ?= 1s
 BENCHDATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race fuzz vet lint vuln bench smoke-bench chaos shards ci clean
+.PHONY: all build test race fuzz vet lint vuln bench benchdiff smoke-bench chaos shards ci clean
 
 all: build test
 
@@ -25,6 +25,7 @@ vet:
 # (DESIGN.md §8). Zero findings is a hard CI gate.
 lint:
 	$(GO) run ./cmd/gocad-lint ./...
+	$(GO) test -count=1 -run='TestRepoIsClean|CodecParity' ./internal/lint/... ./internal/core/
 
 # Non-blocking dependency-vulnerability advisory; skipped silently when
 # govulncheck is not installed (it is not vendored).
@@ -35,11 +36,26 @@ vuln:
 		echo "govulncheck not installed; skipping advisory scan"; \
 	fi
 
+# Benchmark regression diff: compares the two most recent BENCH_*.json
+# snapshots (see `make bench`) and exits 1 when any benchmark is more
+# than 20% worse on ns/op or allocs/op. ci.sh runs it as a non-blocking
+# advisory; run it by hand with explicit files to gate a change:
+#   go run ./cmd/benchdiff BENCH_old.json BENCH_new.json
+benchdiff:
+	@set -- $$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ "$$#" -eq 2 ]; then \
+		$(GO) run ./cmd/benchdiff "$$1" "$$2"; \
+	else \
+		echo "fewer than two BENCH_*.json snapshots; run make bench"; \
+	fi
+
 # Short deterministic fuzz smoke over the RMI wire codec. Each target
 # must run in its own invocation (go test allows one -fuzz at a time).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzBinaryCodec$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
+	$(GO) test -run='^$$' -fuzz='^FuzzBinaryDecode$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzMuxResponses$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzMuxFaultyConn$$' -fuzztime=$(FUZZTIME) ./internal/rmi/
 	$(GO) test -run='^$$' -fuzz='^FuzzPartitionCircuit$$' -fuzztime=$(FUZZTIME) ./internal/shard/

@@ -30,12 +30,25 @@ go test -race -count=1 -run='Shard|Partition|Generate' ./internal/shard/ ./inter
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzFrameRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+go test -run='^$' -fuzz='^FuzzBinaryCodec$' -fuzztime="${FUZZTIME}" ./internal/rmi/
+go test -run='^$' -fuzz='^FuzzBinaryDecode$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxResponses$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxFaultyConn$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzPartitionCircuit$' -fuzztime="${FUZZTIME}" ./internal/shard/
 
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
+
+echo "==> benchdiff advisory (non-blocking)"
+# Compare the two most recent benchmark snapshots, if present. The diff
+# is advisory: benchmark machines are noisy, so a regression report asks
+# for a human read, not a red build. Run `make bench` to cut a snapshot.
+set -- $(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
+if [ "$#" -eq 2 ]; then
+	go run ./cmd/benchdiff "$1" "$2" || echo "benchdiff: regressions reported above (non-blocking)"
+else
+	echo "fewer than two BENCH_*.json snapshots; skipping benchdiff"
+fi
 
 echo "==> govulncheck advisory (non-blocking)"
 if command -v govulncheck >/dev/null 2>&1; then

@@ -1,0 +1,157 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `make bench` (go test -json output in BENCH_<date>.json files) and
+// exits non-zero when any benchmark regressed beyond the threshold on
+// ns/op or allocs/op.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] OLD.json NEW.json
+//
+// Benchmarks present in only one snapshot are reported but never fail
+// the diff — renames and new benchmarks are not regressions. ci.sh runs
+// benchdiff as a non-blocking advisory step (benchmark machines are
+// noisy; a human reads the report before believing it).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of go test -json records benchdiff reads.
+type event struct {
+	Action string
+	Output string
+}
+
+// result is one benchmark's measured line.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchLine matches a benchmark result line inside an Output record:
+//
+//	BenchmarkName-8   1125   1060848 ns/op   214886 B/op   1720 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// parse reads one snapshot file into name → result. Benchmark output is
+// split across Output events; result lines arrive whole, so a line scan
+// over the Output fields suffices.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (interrupted runs)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		for _, line := range strings.Split(ev.Output, "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			name := strings.TrimRight(m[1], " \t")
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			r := result{NsPerOp: ns}
+			if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+				r.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+				r.hasAllocs = true
+			}
+			out[name] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+// pct formats a ratio change as a signed percentage.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20,
+		"relative regression that fails the diff (0.20 = 20% worse)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.20] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRes, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Printf("%-60s only in %s\n", name, flag.Arg(0))
+			continue
+		}
+		verdict := "ok"
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+*threshold) {
+			verdict = "REGRESSION ns/op"
+			regressions++
+		} else if o.hasAllocs && n.hasAllocs && o.AllocsPerOp > 0 &&
+			n.AllocsPerOp > o.AllocsPerOp*(1+*threshold) {
+			verdict = "REGRESSION allocs/op"
+			regressions++
+		}
+		fmt.Printf("%-60s ns/op %12.0f -> %12.0f (%8s)  allocs/op %8.0f -> %8.0f (%8s)  %s\n",
+			name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp), verdict)
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			fmt.Printf("%-60s only in %s\n", name, flag.Arg(1))
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions beyond threshold")
+}

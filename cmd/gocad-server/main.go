@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/provider"
+	"repro/internal/rmi"
 	"repro/internal/security"
 )
 
@@ -33,12 +34,18 @@ func main() {
 			"concurrent request dispatch per session (1 = serial, matches pre-pipelining behavior)")
 		drain = flag.Duration("drain-timeout", 5*time.Second,
 			"on SIGTERM/interrupt, let in-flight requests finish for up to this long before force-closing")
+		codecs = flag.String("codec", "auto", "accepted wire codecs (auto|binary|gob); auto detects per connection")
 	)
 	flag.Parse()
+	policy, err := rmi.ParseCodecPolicy(*codecs)
+	if err != nil {
+		fatal(err)
+	}
 
 	p := provider.New(*name)
 	p.Server.IdleTimeout = *idle
 	p.Server.SessionWorkers = *workers
+	p.Server.Codecs = policy
 	if err := p.Register(provider.MultFastLowPower()); err != nil {
 		fatal(err)
 	}

@@ -152,8 +152,10 @@ func TestChaosTable2Workers(t *testing.T) {
 func TestChaosFailoverObservable(t *testing.T) {
 	cfg := chaosCfg(2, 8)
 	cfg.ReplicaDialers = func(provs []*provider.Provider) []func() (net.Conn, error) {
+		// Binary framing is one write per frame (hello + 8 requests in a
+		// clean ER run), so the kill at write 5 lands mid-run.
 		cs := netsim.ScriptedSchedule(1,
-			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(9), RefuseFrom: 1},
+			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(5), RefuseFrom: 1},
 			netsim.ReplicaScript{Kind: netsim.ChaosNone, RefuseFrom: -1},
 		)
 		return []func() (net.Conn, error){
@@ -190,7 +192,7 @@ func TestChaosAllReplicasDead(t *testing.T) {
 		// Replica 0 accepts once then dies mid-run and refuses redials;
 		// replica 1 dies during any handshake and refuses redials.
 		cs := netsim.ScriptedSchedule(-1,
-			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(9), RefuseFrom: 1},
+			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(5), RefuseFrom: 1},
 			netsim.ReplicaScript{Kind: netsim.ChaosKill, Plan: netsim.ResetAfterWrites(1), RefuseFrom: 1},
 		)
 		return []func() (net.Conn, error){

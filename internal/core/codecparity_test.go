@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rmi"
+)
+
+// TestCodecParityMatrix is the bit-identical guarantee of the binary
+// wire codec: for every Table 2 scenario and across the transport and
+// engine knobs that change wire traffic shape — pipeline depth,
+// estimation cache, shard count, shard workers — a run under the binary
+// codec must produce exactly the fingerprint of the same run under gob.
+// The codec may change how bytes are framed, never what the simulation
+// computes. `make lint` runs this matrix as a companion gate.
+func TestCodecParityMatrix(t *testing.T) {
+	scenarios := []struct {
+		name     string
+		scenario Scenario
+	}{
+		{"AL", AllLocal},
+		{"ER", EstimatorRemote},
+		{"MR", MultiplierRemote},
+	}
+	for _, sc := range scenarios {
+		for _, depth := range []int{1, 8} {
+			for _, cached := range []bool{false, true} {
+				for _, shards := range []int{1, 4} {
+					for _, workers := range []int{1, 0} {
+						name := fmt.Sprintf("%s/depth=%d/cache=%v/shards=%d/workers=%d",
+							sc.name, depth, cached, shards, workers)
+						t.Run(name, func(t *testing.T) {
+							prints := map[rmi.Codec]string{}
+							for _, codec := range []rmi.Codec{rmi.CodecGob, rmi.CodecBinary} {
+								cfg := smallConfig()
+								cfg.Codec = codec
+								cfg.InFlight = depth
+								cfg.Shards = shards
+								cfg.ShardWorkers = workers
+								if cached {
+									// A fresh cache per run: the parity claim covers the
+									// cold-path traffic; cache state must not leak between
+									// codecs.
+									cfg.Cache = NewEstimationCache()
+								}
+								res, err := Run(sc.scenario, cfg)
+								if err != nil {
+									t.Fatalf("%v run: %v", codec, err)
+								}
+								prints[codec] = res.Fingerprint()
+							}
+							if prints[rmi.CodecBinary] != prints[rmi.CodecGob] {
+								t.Errorf("codecs diverged\nbinary: %s\n   gob: %s",
+									prints[rmi.CodecBinary], prints[rmi.CodecGob])
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecParityWarmCache extends parity to the warm-cache wire path:
+// a second run against an already-warmed shared cache serves estimation
+// batches off the cache instead of the provider, and that reshaped
+// traffic must still fingerprint identically under both codecs.
+func TestCodecParityWarmCache(t *testing.T) {
+	prints := map[rmi.Codec]string{}
+	for _, codec := range []rmi.Codec{rmi.CodecGob, rmi.CodecBinary} {
+		cfg := smallConfig()
+		cfg.Codec = codec
+		cfg.Cache = NewEstimationCache()
+		if _, err := Run(EstimatorRemote, cfg); err != nil {
+			t.Fatalf("%v warmup: %v", codec, err)
+		}
+		res, err := Run(EstimatorRemote, cfg)
+		if err != nil {
+			t.Fatalf("%v warm run: %v", codec, err)
+		}
+		prints[codec] = res.Fingerprint()
+	}
+	if prints[rmi.CodecBinary] != prints[rmi.CodecGob] {
+		t.Errorf("warm-cache codecs diverged\nbinary: %s\n   gob: %s",
+			prints[rmi.CodecBinary], prints[rmi.CodecGob])
+	}
+}

@@ -208,7 +208,7 @@ func TestCacheStaysArmedAcrossHealedFailover(t *testing.T) {
 	_, plainSamples := scenarioSamples(t, cfg)
 
 	cache := NewEstimationCache()
-	res, coldSamples := scenarioSamples(t, failoverCacheCfg(t, cache, 9))
+	res, coldSamples := scenarioSamples(t, failoverCacheCfg(t, cache, 5))
 	if res.Failovers < 1 {
 		t.Fatalf("failovers = %d; the scripted kill never forced one", res.Failovers)
 	}

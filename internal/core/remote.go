@@ -22,16 +22,25 @@ import (
 	"repro/internal/signal"
 )
 
-// wordsToBits concatenates the bits of the given words LSB-first — the
-// component-input pattern layout shared with provider-side netlists
-// (operand a in the low bits, operand b above it).
-func wordsToBits(words ...signal.Word) []signal.Bit {
-	var out []signal.Bit
+// wordsToBits appends the bits of the given words LSB-first to dst —
+// the component-input pattern layout shared with provider-side netlists
+// (operand a in the low bits, operand b above it). Pass nil for a fresh
+// buffer; callers that must retain the pattern (the estimator's batch
+// buffer) own the result.
+func wordsToBits(dst []signal.Bit, words ...signal.Word) []signal.Bit {
 	for _, w := range words {
-		out = append(out, w.Bits...)
+		dst = append(dst, w.Bits...)
 	}
-	return out
+	return dst
 }
+
+// patternPool recycles input-pattern buffers for the synchronous MR
+// eval path: the pattern only lives for the duration of one remote
+// Eval call (the wire layer copies it into the outbound payload and the
+// bound instance does not retain it), while a RemoteMult may be driven
+// by several concurrent schedulers (StartConcurrent, shards), so the
+// scratch is pooled rather than hung off the module.
+var patternPool = sync.Pool{New: func() any { return new([]signal.Bit) }}
 
 // RemotePowerEstimator is the paper's remote gate-level power estimator
 // with the two optimizations of the performance study:
@@ -242,7 +251,7 @@ func (e *RemotePowerEstimator) Estimate(ec *estim.EvalContext) (estim.ParamValue
 			return estim.NullValue{}, nil // inputs not yet driven
 		}
 	}
-	pattern := wordsToBits(words...)
+	pattern := wordsToBits(nil, words...)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -735,10 +744,15 @@ func (m *RemoteMult) ProcessInputEvent(ctx *module.Ctx, ev *module.PortEvent) {
 		return
 	}
 	if m.FullyRemote && !m.degraded.Load() {
-		out, err := m.inst.Eval(wordsToBits(aw, bw))
+		bufp := patternPool.Get().(*[]signal.Bit)
+		pattern := wordsToBits((*bufp)[:0], aw, bw)
+		out, err := m.inst.Eval(pattern)
+		*bufp = pattern[:0]
+		patternPool.Put(bufp)
 		if err == nil {
-			w := signal.Word{Bits: append([]signal.Bit(nil), out...)}
-			ctx.Drive(m.o, signal.WordValue{W: w}, 1)
+			// out is freshly decoded per call (both codecs), so the word
+			// can take ownership instead of copying.
+			ctx.Drive(m.o, signal.WordValue{W: signal.Word{Bits: out}}, 1)
 			return
 		}
 		if !errors.Is(err, rmi.ErrProviderDead) {

@@ -13,6 +13,10 @@ import (
 // own ports, which is exactly the IP-protection boundary the paper
 // enforces: a remote estimator never sees the other modules instantiated
 // in the design, their properties, or their mutual relationships.
+//
+// The context and its slices are valid only for the duration of one
+// Estimate call: the module skeleton rebuilds them in place per
+// estimation round, so estimators must copy anything they keep.
 type EvalContext struct {
 	Module  string
 	Now     int64

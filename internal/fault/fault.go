@@ -12,6 +12,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/gate"
 	"repro/internal/signal"
@@ -73,7 +74,7 @@ func collapseUnion(nl *gate.Netlist) unionFind {
 	if err := nl.Build(); err != nil {
 		panic(fmt.Sprintf("fault: %v", err))
 	}
-	uf := make(unionFind)
+	uf := make(unionFind, 4*len(nl.Gates()))
 	for _, g := range nl.Gates() {
 		for _, in := range g.In {
 			if nl.Fanout(in) != 1 || nl.IsOutput(in) {
@@ -106,8 +107,8 @@ func collapseUnion(nl *gate.Netlist) unionFind {
 // representative per class is kept, in deterministic (net, stuck) order.
 func Collapse(nl *gate.Netlist) []gate.Fault {
 	uf := collapseUnion(nl)
-	seen := make(map[faultKey]bool)
-	var out []gate.Fault
+	seen := make(map[faultKey]bool, 2*nl.NumNets())
+	out := make([]gate.Fault, 0, 2*nl.NumNets())
 	for _, f := range Enumerate(nl) {
 		root := uf.find(faultKey{f.Net, f.Stuck})
 		if seen[root] {
@@ -124,15 +125,22 @@ func Collapse(nl *gate.Netlist) []gate.Fault {
 // universe are derived from class sizes.
 func EquivalenceClasses(nl *gate.Netlist) map[gate.Fault][]gate.Fault {
 	uf := collapseUnion(nl)
-	classOf := make(map[faultKey][]gate.Fault)
+	n := 2 * nl.NumNets()
+	classOf := make(map[faultKey][]gate.Fault, n)
+	reps := make(map[faultKey]gate.Fault, n)
+	// One enumeration pass: the first fault reaching a root (in
+	// deterministic (net, stuck) order) is the class representative —
+	// the same choice Collapse makes.
 	for _, f := range Enumerate(nl) {
 		root := uf.find(faultKey{f.Net, f.Stuck})
+		if _, ok := reps[root]; !ok {
+			reps[root] = f
+		}
 		classOf[root] = append(classOf[root], f)
 	}
 	out := make(map[gate.Fault][]gate.Fault, len(classOf))
-	for _, rep := range Collapse(nl) {
-		root := uf.find(faultKey{rep.Net, rep.Stuck})
-		out[rep] = classOf[root]
+	for root, class := range classOf {
+		out[reps[root]] = class
 	}
 	return out
 }
@@ -176,39 +184,54 @@ func NewInternalSymbolicList(nl *gate.Netlist, policy Naming) *SymbolicList {
 }
 
 func buildSymbolicList(nl *gate.Netlist, policy Naming, internalOnly bool) *SymbolicList {
-	classes := EquivalenceClasses(nl)
-	reps := Collapse(nl)
-	sl := &SymbolicList{toFault: make(map[string]gate.Fault, len(reps))}
+	uf := collapseUnion(nl)
+	// One enumeration pass replaces the Collapse + EquivalenceClasses
+	// pair this function used to run (each of which re-derived the union
+	// structure): classes are discovered in deterministic (net, stuck)
+	// order, the first member of each class is its representative, and
+	// the internal-only filter tracks the first internal member in the
+	// same order a scan of the class slice would have found it.
+	type classEntry struct {
+		f        gate.Fault
+		internal bool
+	}
+	isInternal := func(f gate.Fault) bool { return !nl.IsInput(f.Net) && !nl.IsOutput(f.Net) }
+	entries := make([]classEntry, 0, 2*nl.NumNets())
+	byRoot := make(map[faultKey]int, 2*nl.NumNets())
+	for _, f := range Enumerate(nl) {
+		root := uf.find(faultKey{f.Net, f.Stuck})
+		if i, ok := byRoot[root]; ok {
+			if internalOnly && !entries[i].internal && isInternal(f) {
+				entries[i] = classEntry{f: f, internal: true}
+			}
+			continue
+		}
+		byRoot[root] = len(entries)
+		entries = append(entries, classEntry{f: f, internal: isInternal(f)})
+	}
+	sl := &SymbolicList{
+		names:   make([]string, 0, len(entries)),
+		toFault: make(map[string]gate.Fault, len(entries)),
+	}
 	idx := 0
-	for _, rep := range reps {
-		f := rep
-		if internalOnly {
-			chosen := false
-			for _, cf := range classes[rep] {
-				if !nl.IsInput(cf.Net) && !nl.IsOutput(cf.Net) {
-					f = cf
-					chosen = true
-					break
-				}
-			}
-			if !chosen {
-				continue // class holds only port faults: user's responsibility
-			}
+	for _, e := range entries {
+		if internalOnly && !e.internal {
+			continue // class holds only port faults: user's responsibility
 		}
 		var name string
 		switch policy {
 		case Anonymous:
 			sa := "sa0"
-			if f.Stuck == signal.B1 {
+			if e.f.Stuck == signal.B1 {
 				sa = "sa1"
 			}
-			name = fmt.Sprintf("f%d%s", idx, sa)
+			name = "f" + strconv.Itoa(idx) + sa
 		default:
-			name = f.Symbol(nl)
+			name = e.f.Symbol(nl)
 		}
 		idx++
 		sl.names = append(sl.names, name)
-		sl.toFault[name] = f
+		sl.toFault[name] = e.f
 	}
 	return sl
 }

@@ -147,7 +147,7 @@ func (vs *VirtualSimulator) controller(pattern []signal.Bit) *sim.Controller {
 			if dst == nil {
 				continue
 			}
-			ctx.Post(sim.AcquireSignalToken(1, dst.Owner(), dst.Index, signal.BitValue{B: pattern[i]}, "PI"))
+			ctx.Post(ctx.AcquireSignal(1, dst.Owner(), dst.Index, signal.BitValue{B: pattern[i]}, "PI"))
 		}
 	}
 	return c
@@ -214,7 +214,7 @@ func (f *forcer) HandleToken(ctx *sim.Context, tok sim.Token) {
 		if peer == nil {
 			continue
 		}
-		ctx.Post(sim.AcquireSignalToken(ctx.Now()+1, peer.Owner(), peer.Index, signal.BitValue{B: f.pattern.Bit(i)}, f.HandlerName()))
+		ctx.Post(ctx.AcquireSignal(ctx.Now()+1, peer.Owner(), peer.Index, signal.BitValue{B: f.pattern.Bit(i)}, f.HandlerName()))
 	}
 }
 

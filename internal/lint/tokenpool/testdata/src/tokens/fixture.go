@@ -59,3 +59,41 @@ func reacquireOK(s *sim.Scheduler) {
 	tok = sim.AcquireSignalToken(2, sink{}, 0, signal.BitValue{B: signal.B0}, "src")
 	s.Post(tok)
 }
+
+// Arena API: (*sim.Context).AcquireSignal hands out arena-owned tokens
+// with the same post-transfers-ownership contract as the pool.
+
+func arenaPostOK(ctx *sim.Context) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	ctx.Post(tok)
+}
+
+func arenaDoublePost(ctx *sim.Context) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	ctx.Post(tok)
+	ctx.Post(tok) // want "posted twice"
+}
+
+func arenaUseAfterPost(ctx *sim.Context) sim.Time {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	ctx.Post(tok)
+	return tok.When() // want "used after Post"
+}
+
+func arenaEscapeReturn(ctx *sim.Context) *sim.SignalToken {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	return tok // want "returned"
+}
+
+func arenaEscapeStore(ctx *sim.Context, h *holder) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	h.tok = tok // want "stored in a field or container element"
+	ctx.Post(tok)
+}
+
+func arenaReacquireOK(ctx *sim.Context) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	ctx.Post(tok)
+	tok = ctx.AcquireSignal(2, sink{}, 0, signal.BitValue{B: signal.B0}, "src")
+	ctx.Post(tok)
+}

@@ -13,6 +13,10 @@
 //     the pool's contract forbids. Hand-built &sim.SignalToken{} values
 //     are never recycled and may be retained freely.
 //
+// The same rules cover the slab-arena API (*sim.Context).AcquireSignal:
+// delivery releases arena tokens into the delivering scheduler's free
+// list, so a token must not be retained or touched after Post.
+//
 // The analysis is lexical within one function: events are ordered by
 // source position, which matches execution order for straight-line code
 // and is conservative for the rest.
@@ -122,13 +126,26 @@ func findAcquisitions(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]boo
 	return out
 }
 
-// isAcquireCall reports whether e is a call to sim.AcquireSignalToken.
+// isAcquireCall reports whether e is a call that hands out a recycled
+// token: the pooled sim.AcquireSignalToken, or the arena-owned
+// (*sim.Context).AcquireSignal. Both transfer ownership on Post — the
+// scheduler releases arena tokens into the delivering scheduler's free
+// list exactly as it recycles pooled tokens — so the same lifecycle
+// rules apply.
 func isAcquireCall(pass *lint.Pass, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
 	}
-	return lint.IsPkgFunc(lint.Callee(pass.TypesInfo, call), simPkg, "AcquireSignalToken")
+	fn := lint.Callee(pass.TypesInfo, call)
+	if lint.IsPkgFunc(fn, simPkg, "AcquireSignalToken") {
+		return true
+	}
+	if fn == nil || fn.Name() != "AcquireSignal" {
+		return false
+	}
+	recvPkg, recvType := lint.ReceiverNamed(fn)
+	return recvPkg == simPkg && recvType == "Context"
 }
 
 // identObj resolves an identifier to its object (use or definition).

@@ -113,9 +113,14 @@ func (s *Simulation) start(setup *estim.Setup, configure func(*sim.Scheduler)) s
 	leaves := s.circuit.Leaves()
 	return s.ctrl.Start(setup, func(sched *sim.Scheduler) {
 		if setup != nil {
+			// One token per scheduler, reused across instants and leaves:
+			// the hook dispatches it synchronously on the scheduler's own
+			// goroutine and HandleToken only reads its fields.
+			tok := &sim.EstimationToken{Setup: setup}
 			sched.AddInstantHook(func(ctx *sim.Context, completed sim.Time) {
 				for _, m := range leaves {
-					m.HandleToken(ctx, &sim.EstimationToken{T: completed, Dst: m, Setup: setup})
+					tok.T, tok.Dst = completed, m
+					m.HandleToken(ctx, tok)
 				}
 			})
 		}
@@ -149,9 +154,11 @@ func (s *Simulation) StartConcurrent(setups []*estim.Setup) []sim.Stats {
 			if setup == nil {
 				return
 			}
+			tok := &sim.EstimationToken{Setup: setup}
 			sched.AddInstantHook(func(ctx *sim.Context, completed sim.Time) {
 				for _, m := range leaves {
-					m.HandleToken(ctx, &sim.EstimationToken{T: completed, Dst: m, Setup: setup})
+					tok.T, tok.Dst = completed, m
+					m.HandleToken(ctx, tok)
 				}
 			})
 		})

@@ -34,6 +34,11 @@ type PortEvent struct {
 // processInputEvent method. All other machinery (initialization, event
 // handling, setup control, estimator selection and invocation) comes from
 // Skeleton and need not be overridden.
+//
+// The *Ctx and *PortEvent arguments are valid only for the duration of
+// the call: the skeleton reuses them across deliveries on the same
+// scheduler, so implementations must not retain either past return
+// (copy the fields instead).
 type Behavior interface {
 	ProcessInputEvent(ctx *Ctx, ev *PortEvent)
 }
@@ -68,6 +73,15 @@ type runState struct {
 	// module's estimators have run, so estimation happens once per
 	// stimulus (per pattern), not once per simulation instant.
 	dirty bool
+	// mctx and pev are dispatch scratch, reused across deliveries on
+	// this scheduler so the hot token path allocates nothing. Behaviors
+	// receive them for the duration of one call only (see Behavior).
+	mctx Ctx
+	pev  PortEvent
+	// ec is estimation scratch: the EvalContext (and the port-value
+	// slices it carries) is rebuilt in place for every estimation round
+	// on this scheduler. Estimators see it for one Estimate call only.
+	ec estim.EvalContext
 }
 
 // Skeleton implements Module. Concrete components embed *Skeleton and
@@ -177,7 +191,6 @@ func (sk *Skeleton) StateLen() int { return sk.state.Len() }
 // behavior, estimation tokens to the selected estimators, and self and
 // control tokens to the corresponding optional behaviors.
 func (sk *Skeleton) HandleToken(ctx *sim.Context, tok sim.Token) {
-	mctx := &Ctx{Sim: ctx, sk: sk}
 	switch t := tok.(type) {
 	case *sim.SignalToken:
 		if t.Port < 0 || t.Port >= len(sk.ports) {
@@ -189,11 +202,9 @@ func (sk *Skeleton) HandleToken(ctx *sim.Context, tok sim.Token) {
 		rs.in[t.Port] = t.Value
 		rs.dirty = true
 		if sk.behavior != nil {
-			sk.behavior.ProcessInputEvent(mctx, &PortEvent{
-				Port:  sk.ports[t.Port],
-				Value: t.Value,
-				Prev:  prev,
-			})
+			rs.mctx = Ctx{Sim: ctx, sk: sk}
+			rs.pev = PortEvent{Port: sk.ports[t.Port], Value: t.Value, Prev: prev}
+			sk.behavior.ProcessInputEvent(&rs.mctx, &rs.pev)
 		}
 	case *sim.EstimationToken:
 		setup, _ := t.Setup.(*estim.Setup)
@@ -205,11 +216,15 @@ func (sk *Skeleton) HandleToken(ctx *sim.Context, tok sim.Token) {
 		}
 	case *sim.SelfToken:
 		if sb, ok := sk.behavior.(SelfBehavior); ok {
-			sb.ProcessSelfEvent(mctx, t)
+			rs := sk.stateFor(ctx.SchedulerID())
+			rs.mctx = Ctx{Sim: ctx, sk: sk}
+			sb.ProcessSelfEvent(&rs.mctx, t)
 		}
 	case *sim.ControlToken:
 		if cb, ok := sk.behavior.(ControlBehavior); ok {
-			cb.ProcessControl(mctx, t)
+			rs := sk.stateFor(ctx.SchedulerID())
+			rs.mctx = Ctx{Sim: ctx, sk: sk}
+			cb.ProcessControl(&rs.mctx, t)
 		}
 	}
 }
@@ -229,14 +244,13 @@ func (sk *Skeleton) runEstimators(ctx *sim.Context, setup *estim.Setup) {
 		return
 	}
 	rs.dirty = false
-	ec := &estim.EvalContext{
-		Module:  sk.name,
-		Now:     int64(ctx.Now()),
-		Inputs:  sk.portValues(rs.in, In),
-		PrevIn:  sk.portValues(rs.prevIn, In),
-		Outputs: sk.portValues(rs.out, Out),
-		PrevOut: sk.portValues(rs.prevOut, Out),
-	}
+	ec := &rs.ec
+	ec.Module = sk.name
+	ec.Now = int64(ctx.Now())
+	ec.Inputs = sk.portValues(ec.Inputs[:0], rs.in, In)
+	ec.PrevIn = sk.portValues(ec.PrevIn[:0], rs.prevIn, In)
+	ec.Outputs = sk.portValues(ec.Outputs[:0], rs.out, Out)
+	ec.PrevOut = sk.portValues(ec.PrevOut[:0], rs.prevOut, Out)
 	for param, e := range sel {
 		v, err := e.Estimate(ec)
 		if err != nil {
@@ -246,16 +260,15 @@ func (sk *Skeleton) runEstimators(ctx *sim.Context, setup *estim.Setup) {
 	}
 }
 
-// portValues extracts the values of ports matching the direction (InOut
-// ports appear in both views).
-func (sk *Skeleton) portValues(vals []signal.Value, dir Direction) []signal.Value {
-	var out []signal.Value
+// portValues appends the values of ports matching the direction (InOut
+// ports appear in both views) to dst.
+func (sk *Skeleton) portValues(dst []signal.Value, vals []signal.Value, dir Direction) []signal.Value {
 	for i, p := range sk.ports {
 		if p.Dir == dir || p.Dir == InOut {
-			out = append(out, vals[i])
+			dst = append(dst, vals[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // AddEstimator registers a candidate estimator for one of the module's
@@ -389,7 +402,7 @@ func (c *Ctx) Drive(port *Port, value signal.Value, delay sim.Time) {
 	if peer == nil {
 		return
 	}
-	c.Sim.Post(sim.AcquireSignalToken(c.Sim.Now()+delay, peer.owner, peer.Index, value, c.sk.name))
+	c.Sim.Post(c.Sim.AcquireSignal(c.Sim.Now()+delay, peer.owner, peer.Index, value, c.sk.name))
 }
 
 // ScheduleSelf posts a self-trigger token for the module.

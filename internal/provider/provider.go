@@ -10,6 +10,7 @@ package provider
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/estim"
@@ -67,6 +68,20 @@ type Provider struct {
 
 	mu         sync.Mutex
 	components map[string]*Component
+	// testCache memoizes the testability service per (component, width,
+	// naming): the symbolic fault list and the detection tables depend
+	// only on the netlist, which Component.Build derives deterministically
+	// from the width, so every Bind of the same shape can share one
+	// service (and its pattern-keyed detection-table cache).
+	// LocalTestability is internally synchronized.
+	testCache map[testKey]*fault.LocalTestability
+}
+
+// testKey identifies one shared testability service.
+type testKey struct {
+	component string
+	width     int
+	naming    fault.Naming
 }
 
 // DefaultSessionWorkers is the per-session dispatch concurrency a fresh
@@ -213,8 +228,23 @@ func (p *Provider) handleCatalogue(sess *rmi.Session, payload []byte) (any, erro
 	return resp, nil
 }
 
+// instKeys precomputes the session-store names of the first instance
+// handles: handles are small session-local ordinals and the key is
+// rebuilt on every eval, so formatting one per call was pure overhead.
+var instKeys = func() (ks [64]string) {
+	for i := range ks {
+		ks[i] = "inst:" + strconv.FormatUint(uint64(i), 10)
+	}
+	return
+}()
+
 // instKey names an instance in the session store.
-func instKey(id uint64) string { return fmt.Sprintf("inst:%d", id) }
+func instKey(id uint64) string {
+	if id < uint64(len(instKeys)) {
+		return instKeys[id]
+	}
+	return "inst:" + strconv.FormatUint(id, 10)
+}
 
 func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 	var req iplib.BindReq
@@ -253,7 +283,7 @@ func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 	}
 	inst := &instance{comp: comp, width: req.Width, nl: nl, ev: ev, power: power, timing: timing, lib: lib}
 	if comp.Spec.Testability {
-		test, err := fault.NewLocalTestability(nl, p.FaultNaming, true)
+		test, err := p.testabilityFor(req.Component, req.Width, nl)
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +305,37 @@ func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 	sess.Put(instKey(id), inst)
 	sess.Charge(comp.Spec.LicenseCents)
 	return iplib.BindResp{Instance: id, LicenseCents: comp.Spec.LicenseCents, Enabled: enabled}, nil
+}
+
+// testabilityFor returns the shared testability service for one
+// component shape, building it on first use. Fault collapsing and
+// symbolic naming walk every net of the netlist, so rebuilding the
+// service on every Bind dominated bind cost; the memoized service also
+// shares its detection-table cache across all sessions binding the
+// same shape. Concurrent first binds may build twice; the first insert
+// wins so later binds converge on one instance.
+func (p *Provider) testabilityFor(component string, width int, nl *gate.Netlist) (*fault.LocalTestability, error) {
+	key := testKey{component: component, width: width, naming: p.FaultNaming}
+	p.mu.Lock()
+	if t, ok := p.testCache[key]; ok {
+		p.mu.Unlock()
+		return t, nil
+	}
+	p.mu.Unlock()
+	test, err := fault.NewLocalTestability(nl, p.FaultNaming, true)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.testCache[key]; ok {
+		return t, nil
+	}
+	if p.testCache == nil {
+		p.testCache = make(map[testKey]*fault.LocalTestability)
+	}
+	p.testCache[key] = test
+	return test, nil
 }
 
 // nextInstanceID allocates a session-unique instance handle.

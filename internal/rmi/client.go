@@ -120,7 +120,8 @@ type Client struct {
 	// uses it to feed per-replica EWMA latency.
 	OnAttempt func(method string, rtt time.Duration, err error)
 
-	key security.Key // for session re-handshake on reconnect
+	key   security.Key // for session re-handshake on reconnect
+	codec Codec        // wire framing, fixed at construction
 
 	nextID atomic.Uint64 // call IDs; monotonic across transport epochs
 
@@ -140,15 +141,30 @@ type Client struct {
 	termOnce sync.Once
 }
 
+// Config carries the construction-time options of a client — the knobs
+// that must be fixed before the handshake runs. Post-handshake knobs
+// stay plain Client fields.
+type Config struct {
+	// Codec selects the wire framing; the zero value is the binary codec
+	// (wire format v1). The server detects the codec per connection, so
+	// no out-of-band agreement is needed.
+	Codec Codec
+}
+
 // Dial connects to a provider server over TCP and authenticates with the
 // shared key. The returned client can redial the same address, so
 // setting Retry is enough to make it resilient.
 func Dial(addr, clientName string, key security.Key) (*Client, error) {
+	return DialWith(addr, clientName, key, Config{})
+}
+
+// DialWith is Dial with construction-time options.
+func DialWith(addr, clientName string, key security.Key, cfg Config) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(conn, clientName, key)
+	c, err := NewClientWith(conn, clientName, key, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +176,15 @@ func Dial(addr, clientName string, key security.Key) (*Client, error) {
 // in-process loopback deployments, or any emulated transport) and starts
 // the transport pumps.
 func NewClient(conn net.Conn, clientName string, key security.Key) (*Client, error) {
+	return NewClientWith(conn, clientName, key, Config{})
+}
+
+// NewClientWith is NewClient with construction-time options.
+func NewClientWith(conn net.Conn, clientName string, key security.Key, cfg Config) (*Client, error) {
 	c := &Client{
 		Name:   clientName,
 		key:    key,
+		codec:  cfg.Codec,
 		jitter: mrand.New(mrand.NewPCG(0x90cad, 0x1999)),
 		term:   make(chan struct{}),
 	}
@@ -182,8 +204,7 @@ func NewClient(conn net.Conn, clientName string, key security.Key) (*Client, err
 // state is untouched.
 func (c *Client) attach(conn net.Conn) (*mux, error) {
 	cc := &countingConn{Conn: conn}
-	enc := gob.NewEncoder(cc)
-	dec := gob.NewDecoder(cc)
+	fw, fr := c.newFrameCodec(cc)
 	if c.Timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(c.Timeout))
 	}
@@ -194,12 +215,12 @@ func (c *Client) attach(conn net.Conn) (*mux, error) {
 	}
 	msg := append(append([]byte(nil), nonce...), c.Name...)
 	hello := frame{Kind: kindHello, Client: c.Name, Nonce: nonce, Tag: c.key.Tag(msg)}
-	if err := enc.Encode(&hello); err != nil {
+	if err := fw.writeFrame(&hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("rmi: handshake send: %w", err)
 	}
 	var welcome frame
-	if err := dec.Decode(&welcome); err != nil {
+	if err := fr.readFrame(&welcome); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("rmi: handshake receive: %w", err)
 	}
@@ -210,7 +231,19 @@ func (c *Client) attach(conn net.Conn) (*mux, error) {
 	if c.Timeout > 0 {
 		_ = conn.SetDeadline(time.Time{})
 	}
-	return newMux(c, cc, enc, dec, welcome.Session), nil
+	return newMux(c, cc, fw, fr, welcome.Session), nil
+}
+
+// newFrameCodec builds the per-connection frame encoder/decoder pair for
+// the client's codec. The binary reader may alias payloads into its
+// reusable buffer: the mux reader decodes each response payload into the
+// caller's reply synchronously, before reading the next frame.
+func (c *Client) newFrameCodec(cc *countingConn) (frameEncoder, frameDecoder) {
+	if c.codec == CodecGob {
+		g := &gobFrameCodec{enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+		return g, g
+	}
+	return &binFrameWriter{w: cc}, &binFrameReader{r: cc, aliasPayload: true}
 }
 
 // depth normalizes MaxInFlight to the effective in-flight bound.
@@ -302,12 +335,10 @@ func (c *Client) call(method string, args PortData, reply any, meterBlocked bool
 	if policy == nil {
 		policy = &security.DefaultPolicy
 	}
-	for _, v := range args.PortData() {
-		if err := policy.CheckOutbound(v); err != nil {
-			return err
-		}
+	if err := checkOutbound(policy, args); err != nil {
+		return err
 	}
-	payload, err := Encode(args)
+	payload, err := EncodePayload(args, c.codec)
 	if err != nil {
 		return err
 	}

@@ -111,18 +111,20 @@ func FuzzMuxFaultyConn(f *testing.F) {
 		srvConn, cliConn := net.Pipe()
 		go func() {
 			defer srvConn.Close()
-			dec := gob.NewDecoder(srvConn)
-			enc := gob.NewEncoder(srvConn)
-			var hello frame
-			if dec.Decode(&hello) != nil {
+			fw, fr, err := sniffTestCodec(srvConn)
+			if err != nil {
 				return
 			}
-			if enc.Encode(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
+			var hello frame
+			if fr.readFrame(&hello) != nil {
+				return
+			}
+			if fw.writeFrame(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
 				return
 			}
 			for {
 				var req frame
-				if dec.Decode(&req) != nil {
+				if fr.readFrame(&req) != nil {
 					return
 				}
 				var body echoReq
@@ -134,7 +136,7 @@ func FuzzMuxFaultyConn(f *testing.F) {
 				} else {
 					resp.Payload = p
 				}
-				if enc.Encode(&resp) != nil {
+				if fw.writeFrame(&resp) != nil {
 					return
 				}
 			}
@@ -191,22 +193,24 @@ func FuzzMuxResponses(f *testing.F) {
 		srvConn, cliConn := net.Pipe()
 		go func() {
 			defer srvConn.Close()
-			dec := gob.NewDecoder(srvConn)
-			enc := gob.NewEncoder(srvConn)
-			var hello frame
-			if dec.Decode(&hello) != nil {
+			fw, fr, err := sniffTestCodec(srvConn)
+			if err != nil {
 				return
 			}
-			if enc.Encode(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
+			var hello frame
+			if fr.readFrame(&hello) != nil {
+				return
+			}
+			if fw.writeFrame(&frame{Kind: kindWelcome, Session: "fuzz"}) != nil {
 				return
 			}
 			for {
 				var req frame
-				if dec.Decode(&req) != nil {
+				if fr.readFrame(&req) != nil {
 					return
 				}
 				resp := frame{Kind: kind, ID: req.ID + idDelta, Payload: payload, Err: errStr}
-				if enc.Encode(&resp) != nil {
+				if fw.writeFrame(&resp) != nil {
 					return
 				}
 			}

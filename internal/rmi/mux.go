@@ -1,7 +1,6 @@
 package rmi
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,7 +22,7 @@ type pendingCall struct {
 	id     uint64
 	seq    uint64 // wire-order sequence (send-queue position) for the recorder gate
 	method string
-	frame  *frame
+	frame  frame    // request frame, embedded so a call costs one allocation
 	args   PortData // retained for the Recorder hook
 	reply  any
 
@@ -42,7 +41,8 @@ type pendingCall struct {
 // mux is one transport epoch of a Client: a single authenticated
 // connection with a dedicated writer pump draining a FIFO send queue, a
 // reader pump correlating response frames to pending calls by frame.ID,
-// and an in-flight bound so N calls can pipeline on the one gob stream.
+// and an in-flight bound so N calls can pipeline on the one framed
+// stream.
 //
 // A mux never heals: any transport fault (send/receive error, per-call
 // deadline, an unknown response ID) fails the whole epoch, resolving
@@ -51,8 +51,8 @@ type pendingCall struct {
 type mux struct {
 	c       *Client
 	conn    *countingConn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
+	fw      frameEncoder
+	fr      frameDecoder
 	session string
 
 	mu       sync.Mutex
@@ -73,13 +73,13 @@ type mux struct {
 
 // newMux wraps a freshly handshaken connection. The pumps are not
 // started: reconnect runs the session replay serially on the bare
-// enc/dec first (see Client.reconnectLocked), then calls start.
-func newMux(c *Client, conn *countingConn, enc *gob.Encoder, dec *gob.Decoder, session string) *mux {
+// frame codec first (see Client.reconnectLocked), then calls start.
+func newMux(c *Client, conn *countingConn, fw frameEncoder, fr frameDecoder, session string) *mux {
 	m := &mux{
 		c:       c,
 		conn:    conn,
-		enc:     enc,
-		dec:     dec,
+		fw:      fw,
+		fr:      fr,
 		session: session,
 		pending: make(map[uint64]*pendingCall),
 		done:    make(chan struct{}),
@@ -153,10 +153,10 @@ func (m *mux) enqueue(method string, args PortData, payload []byte, reply any) (
 	pc.id = m.c.nextCallID()
 	pc.seq = m.nextSeq
 	m.nextSeq++
-	pc.frame = &frame{Kind: kindRequest, ID: pc.id, Session: m.session, Method: method, Payload: payload}
+	pc.frame = frame{Kind: kindRequest, ID: pc.id, Session: m.session, Method: method, Payload: payload}
 	if d := m.c.Timeout; d > 0 {
 		// The per-call deadline spans queue wait, transmission, and the
-		// response. A deadline expiry abandons the whole epoch: the gob
+		// response. A deadline expiry abandons the whole epoch: the
 		// stream is in an undefined state (the response may yet arrive),
 		// so the connection cannot be reused — same contract as the
 		// stop-and-wait transport. Armed before the call becomes visible
@@ -172,8 +172,9 @@ func (m *mux) enqueue(method string, args PortData, payload []byte, reply any) (
 	return pc, nil
 }
 
-// writer is the send pump: the sole goroutine touching enc after start,
-// draining the queue FIFO so wire order equals enqueue order.
+// writer is the send pump: the sole goroutine touching the frame
+// encoder after start, draining the queue FIFO so wire order equals
+// enqueue order.
 func (m *mux) writer() {
 	for {
 		m.mu.Lock()
@@ -189,7 +190,7 @@ func (m *mux) writer() {
 		m.mu.Unlock()
 
 		w0 := m.conn.written
-		if err := m.enc.Encode(pc.frame); err != nil {
+		if err := m.fw.writeFrame(&pc.frame); err != nil {
 			m.fail(fmt.Errorf("rmi: send %s: %w", pc.method, err))
 			return
 		}
@@ -197,17 +198,20 @@ func (m *mux) writer() {
 	}
 }
 
-// reader is the receive pump: the sole goroutine touching dec after
-// start. It correlates each response frame to its pending call by ID —
+// reader is the receive pump: the sole goroutine touching the frame
+// decoder after start. It correlates each response frame to its pending call by ID —
 // responses may complete in any order. A frame that matches no pending
 // call means the stream is desynchronized (e.g. a stale response from a
 // confused peer): the epoch is poisoned so no caller can be handed
 // another call's data.
 func (m *mux) reader() {
+	// One response frame for the life of the pump: both codecs reset it
+	// on read, and complete() consumes it synchronously before the next
+	// readFrame can overwrite it.
+	var resp frame
 	for {
-		var resp frame
 		r0 := m.conn.read
-		if err := m.dec.Decode(&resp); err != nil {
+		if err := m.fr.readFrame(&resp); err != nil {
 			m.fail(fmt.Errorf("rmi: receive: %w", err))
 			return
 		}
@@ -304,7 +308,7 @@ func (m *mux) fail(err error) error {
 // session replay uses. No emulation, metering, or recording applies:
 // recovery overhead is not part of the workload's traffic accounting.
 func (m *mux) directCall(method string, args PortData, reply any) error {
-	payload, err := Encode(args)
+	payload, err := EncodePayload(args, m.c.codec)
 	if err != nil {
 		return err
 	}
@@ -313,11 +317,11 @@ func (m *mux) directCall(method string, args PortData, reply any) error {
 	if m.c.Timeout > 0 {
 		_ = m.conn.SetDeadline(time.Now().Add(m.c.Timeout))
 	}
-	if err := m.enc.Encode(&req); err != nil {
+	if err := m.fw.writeFrame(&req); err != nil {
 		return fmt.Errorf("rmi: send %s: %w", method, err)
 	}
 	var resp frame
-	if err := m.dec.Decode(&resp); err != nil {
+	if err := m.fr.readFrame(&resp); err != nil {
 		return fmt.Errorf("rmi: receive %s: %w", method, err)
 	}
 	if m.c.Timeout > 0 {

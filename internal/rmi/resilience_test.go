@@ -1,8 +1,10 @@
 package rmi
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
+	"io"
 	mrand "math/rand/v2"
 	"net"
 	"strings"
@@ -160,16 +162,22 @@ func TestRemoteErrorNotRetried(t *testing.T) {
 	}
 }
 
+// rogueBehavior scripts one rogue connection, speaking raw frames in
+// whatever codec the connecting client chose.
+type rogueBehavior func(conn net.Conn, fw frameEncoder, fr frameDecoder, requests *atomic.Int32)
+
 // rogueServer speaks raw frames so tests can script protocol-level
-// misbehavior: ambiguous mid-call failures and stale-response desync.
+// misbehavior: ambiguous mid-call failures and stale-response desync. It
+// sniffs the codec per connection exactly like the real server, so the
+// same misbehavior scripts run under both codecs.
 type rogueServer struct {
 	ln       net.Listener
 	requests atomic.Int32
 	// behave scripts connection i; the default echoes forever.
-	behave []func(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, requests *atomic.Int32)
+	behave []rogueBehavior
 }
 
-func startRogue(t *testing.T, behave ...func(net.Conn, *gob.Encoder, *gob.Decoder, *atomic.Int32)) *rogueServer {
+func startRogue(t *testing.T, behave ...rogueBehavior) *rogueServer {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -189,32 +197,50 @@ func startRogue(t *testing.T, behave ...func(net.Conn, *gob.Encoder, *gob.Decode
 			}
 			go func() {
 				defer conn.Close()
-				enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+				fw, fr, err := sniffTestCodec(conn)
+				if err != nil {
+					return
+				}
 				var hello frame
-				if err := dec.Decode(&hello); err != nil {
+				if err := fr.readFrame(&hello); err != nil {
 					return
 				}
-				if err := enc.Encode(&frame{Kind: kindWelcome, Session: "rogue-session"}); err != nil {
+				if err := fw.writeFrame(&frame{Kind: kindWelcome, Session: "rogue-session"}); err != nil {
 					return
 				}
-				b(conn, enc, dec, &r.requests)
+				b(conn, fw, fr, &r.requests)
 			}()
 		}
 	}()
 	return r
 }
 
+// sniffTestCodec reproduces the server's per-connection codec detection
+// for hand-rolled test peers.
+func sniffTestCodec(conn net.Conn) (frameEncoder, frameDecoder, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return nil, nil, err
+	}
+	r := io.MultiReader(bytes.NewReader(first[:]), conn)
+	if first[0] == binMagic0 {
+		return &binFrameWriter{w: conn}, &binFrameReader{r: r}, nil
+	}
+	g := &gobFrameCodec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(r)}
+	return g, g, nil
+}
+
 func (r *rogueServer) addr() string { return r.ln.Addr().String() }
 
 // rogueEcho answers every request correctly.
-func rogueEcho(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, requests *atomic.Int32) {
+func rogueEcho(conn net.Conn, fw frameEncoder, fr frameDecoder, requests *atomic.Int32) {
 	for {
 		var req frame
-		if err := dec.Decode(&req); err != nil {
+		if err := fr.readFrame(&req); err != nil {
 			return
 		}
 		requests.Add(1)
-		if err := enc.Encode(&frame{Kind: kindResponse, ID: req.ID}); err != nil {
+		if err := fw.writeFrame(&frame{Kind: kindResponse, ID: req.ID}); err != nil {
 			return
 		}
 	}
@@ -222,9 +248,9 @@ func rogueEcho(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, requests *atom
 
 // rogueDropAfterRead reads one request and slams the connection shut —
 // the canonical ambiguous failure (did it execute?).
-func rogueDropAfterRead(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, requests *atomic.Int32) {
+func rogueDropAfterRead(conn net.Conn, fw frameEncoder, fr frameDecoder, requests *atomic.Int32) {
 	var req frame
-	if dec.Decode(&req) == nil {
+	if fr.readFrame(&req) == nil {
 		requests.Add(1)
 	}
 	conn.Close()
@@ -232,21 +258,26 @@ func rogueDropAfterRead(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, reque
 
 // rogueStaleID answers the first request with a mismatched response ID —
 // the stream-desynchronization case — then echoes correctly.
-func rogueStaleID(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, requests *atomic.Int32) {
+func rogueStaleID(conn net.Conn, fw frameEncoder, fr frameDecoder, requests *atomic.Int32) {
 	var req frame
-	if dec.Decode(&req) != nil {
+	if fr.readFrame(&req) != nil {
 		return
 	}
 	requests.Add(1)
-	if enc.Encode(&frame{Kind: kindResponse, ID: req.ID + 7}) != nil {
+	if fw.writeFrame(&frame{Kind: kindResponse, ID: req.ID + 7}) != nil {
 		return
 	}
-	rogueEcho(conn, enc, dec, requests)
+	rogueEcho(conn, fw, fr, requests)
 }
 
 func rogueClient(t *testing.T, r *rogueServer) *Client {
+	return rogueClientCodec(t, r, CodecBinary)
+}
+
+// rogueClientCodec dials the rogue server under an explicit wire codec.
+func rogueClientCodec(t *testing.T, r *rogueServer, codec Codec) *Client {
 	t.Helper()
-	cli, err := Dial(r.addr(), "user", testKey(t))
+	cli, err := DialWith(r.addr(), "user", testKey(t), Config{Codec: codec})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/security"
 	"repro/internal/signal"
+	"repro/internal/wire"
 )
 
 // echoReq and echoResp are simple test envelopes.
@@ -20,12 +22,57 @@ type echoReq struct {
 
 func (r echoReq) PortData() []any { return []any{r.Bits, r.Note} }
 
+// echoReq and echoResp implement the binary payload interfaces so the
+// in-package tests exercise the tagged AppendTo/DecodeFrom dispatch,
+// not just the gob fallback inside binary frames.
+func (r echoReq) AppendTo(b []byte) []byte {
+	b = wire.AppendBits(b, r.Bits)
+	return wire.AppendString(b, r.Note)
+}
+
+func (r *echoReq) DecodeFrom(buf []byte) error {
+	var err error
+	*r = echoReq{}
+	if r.Bits, buf, err = wire.Bits(buf); err != nil {
+		return err
+	}
+	if r.Note, buf, err = wire.String(buf); err != nil {
+		return err
+	}
+	if len(buf) != 0 {
+		return errors.New("trailing bytes after echoReq")
+	}
+	return nil
+}
+
 type echoResp struct {
 	Bits  []signal.Bit
 	Calls int
 }
 
 func (r echoResp) PortData() []any { return []any{r.Bits, r.Calls} }
+
+func (r echoResp) AppendTo(b []byte) []byte {
+	b = wire.AppendBits(b, r.Bits)
+	return wire.AppendVarint(b, int64(r.Calls))
+}
+
+func (r *echoResp) DecodeFrom(buf []byte) error {
+	var err error
+	*r = echoResp{}
+	if r.Bits, buf, err = wire.Bits(buf); err != nil {
+		return err
+	}
+	var calls int64
+	if calls, buf, err = wire.Varint(buf); err != nil {
+		return err
+	}
+	r.Calls = int(calls)
+	if len(buf) != 0 {
+		return errors.New("trailing bytes after echoResp")
+	}
+	return nil
+}
 
 // leakResp fails to declare port data correctly.
 type leakResp struct {
@@ -35,8 +82,14 @@ type leakResp struct {
 func (r leakResp) PortData() []any { return []any{r.Secret} }
 
 // newTestPair starts a server with an echo method and returns a
-// connected, authenticated client.
+// connected, authenticated client speaking the default (binary) codec.
 func newTestPair(t *testing.T, configure func(*Server)) (*Server, *Client) {
+	t.Helper()
+	return newTestPairCodec(t, CodecBinary, configure)
+}
+
+// newTestPairCodec is newTestPair under an explicit wire codec.
+func newTestPairCodec(t *testing.T, codec Codec, configure func(*Server)) (*Server, *Client) {
 	t.Helper()
 	srv := NewServer("prov")
 	key, err := security.NewKey()
@@ -68,7 +121,7 @@ func newTestPair(t *testing.T, configure func(*Server)) (*Server, *Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	cli, err := Dial(addr, "user", key)
+	cli, err := DialWith(addr, "user", key, Config{Codec: codec})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/gob"
 	"encoding/hex"
@@ -14,6 +15,31 @@ import (
 
 	"repro/internal/security"
 )
+
+// CodecPolicy restricts which wire codecs a server accepts. The zero
+// value sniffs the codec per connection (wire-format-v1 frames open with
+// a magic byte no gob stream can produce) and accepts both.
+type CodecPolicy int
+
+// The accepted-codec policies.
+const (
+	CodecAuto CodecPolicy = iota
+	CodecBinaryOnly
+	CodecGobOnly
+)
+
+// ParseCodecPolicy maps a server -codec flag value to a policy.
+func ParseCodecPolicy(s string) (CodecPolicy, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "binary":
+		return CodecBinaryOnly, nil
+	case "gob":
+		return CodecGobOnly, nil
+	}
+	return 0, fmt.Errorf("rmi: unknown codec policy %q (want auto, binary or gob)", s)
+}
 
 // Handler serves one remote method: it decodes its arguments from the
 // payload and returns a response envelope (which must implement PortData
@@ -85,6 +111,11 @@ type Server struct {
 	// Methods registered through HandleOrdered always execute in arrival
 	// order relative to one another, regardless of this setting.
 	SessionWorkers int
+	// Codecs restricts the wire codecs this server accepts; the zero
+	// value auto-detects per connection. A connection speaking a refused
+	// codec is answered with an error welcome in its own codec and
+	// dropped.
+	Codecs CodecPolicy
 
 	mu       sync.Mutex
 	methods  map[string]Handler
@@ -298,47 +329,74 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return // closed or draining: no new sessions
 	}
 	defer s.unregister(conn)
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
 
-	// Handshake.
+	// Codec detection: the first byte of a wire-format-v1 frame is the
+	// 0x00 magic, which no gob stream can open with (gob's leading byte
+	// is a message length in 1..127 or a negated byte count near 0xFF).
 	if s.IdleTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 	}
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	codec := CodecGob
+	if first[0] == binMagic0 {
+		codec = CodecBinary
+	}
+	r := io.MultiReader(bytes.NewReader(first[:]), conn)
+	var fw frameEncoder
+	var fr frameDecoder
+	if codec == CodecBinary {
+		fw = &binFrameWriter{w: conn}
+		// Payloads may alias the reader buffer only on the serial loop,
+		// where dispatch completes before the next frame is read.
+		fr = &binFrameReader{r: r, aliasPayload: s.SessionWorkers <= 1}
+	} else {
+		g := &gobFrameCodec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(r)}
+		fw, fr = g, g
+	}
+
+	// Handshake.
 	var hello frame
-	if err := dec.Decode(&hello); err != nil {
+	if err := fr.readFrame(&hello); err != nil {
 		return
 	}
 	sess, err := s.handshake(&hello)
+	if err == nil && !s.codecAccepted(codec) {
+		err = fmt.Errorf("rmi: server does not accept the %s codec", codec)
+	}
 	welcome := frame{Kind: kindWelcome}
 	if err != nil {
 		welcome.Err = err.Error()
-		_ = enc.Encode(&welcome)
+		_ = fw.writeFrame(&welcome)
 		return
 	}
 	welcome.Session = sess.ID
-	if err := enc.Encode(&welcome); err != nil {
+	if err := fw.writeFrame(&welcome); err != nil {
 		return
 	}
 
 	if s.SessionWorkers > 1 {
-		s.serveConcurrent(conn, st, dec, enc, sess)
+		s.serveConcurrent(conn, st, fr, fw, sess, codec)
 		return
 	}
+	req := getFrame()
+	defer putFrame(req)
 	for {
 		if s.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
-		var req frame
-		if err := dec.Decode(&req); err != nil {
+		if err := fr.readFrame(req); err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.logf("rmi server %s: %v", s.Name, err)
 			}
 			return
 		}
 		st.inflight.Add(1)
-		resp := s.dispatch(sess, &req)
-		err := enc.Encode(resp)
+		resp := s.dispatch(sess, req, codec)
+		err := fw.writeFrame(resp)
+		putFrame(resp)
 		st.inflight.Add(-1)
 		if err != nil {
 			return
@@ -346,30 +404,43 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
+// codecAccepted applies the server's codec policy.
+func (s *Server) codecAccepted(c Codec) bool {
+	switch s.Codecs {
+	case CodecBinaryOnly:
+		return c == CodecBinary
+	case CodecGobOnly:
+		return c == CodecGob
+	}
+	return true
+}
+
 // serveConcurrent runs the post-handshake request loop with per-session
 // concurrent dispatch: this goroutine decodes requests and routes them,
 // a bounded worker pool executes unordered handlers in parallel, a
 // single ordered lane executes HandleOrdered methods in arrival order,
-// and one response writer serializes all responses back onto the gob
+// and one response writer serializes all responses back onto the framed
 // stream in completion order (the pipelined client correlates them by
 // frame ID, so response order is free).
-func (s *Server) serveConcurrent(conn net.Conn, st *connState, dec *gob.Decoder, enc *gob.Encoder, sess *Session) {
+func (s *Server) serveConcurrent(conn net.Conn, st *connState, fr frameDecoder, fw frameEncoder, sess *Session, codec Codec) {
 	workers := s.SessionWorkers
 	respCh := make(chan *frame, workers+1)
 	workCh := make(chan *frame)
 	orderCh := make(chan *frame, workers)
 	writerDone := make(chan struct{})
 
-	go func() { // response writer: sole owner of enc
+	go func() { // response writer: sole owner of the frame encoder
 		defer close(writerDone)
 		for resp := range respCh {
-			err := enc.Encode(resp)
+			err := fw.writeFrame(resp)
+			putFrame(resp)
 			st.inflight.Add(-1) // answered (or abandoned): no longer drain-relevant
 			if err != nil {
 				// The write side is gone; close the conn so the request
 				// loop stops, then drain so no handler blocks on respCh.
 				conn.Close()
-				for range respCh {
+				for resp := range respCh {
+					putFrame(resp)
 					st.inflight.Add(-1)
 				}
 				return
@@ -383,7 +454,9 @@ func (s *Server) serveConcurrent(conn net.Conn, st *connState, dec *gob.Decoder,
 		go func() {
 			defer wg.Done()
 			for req := range workCh {
-				respCh <- s.dispatch(sess, req)
+				resp := s.dispatch(sess, req, codec)
+				putFrame(req)
+				respCh <- resp
 			}
 		}()
 	}
@@ -391,7 +464,9 @@ func (s *Server) serveConcurrent(conn net.Conn, st *connState, dec *gob.Decoder,
 	go func() { // ordered lane: arrival-order execution for stateful methods
 		defer wg.Done()
 		for req := range orderCh {
-			respCh <- s.dispatch(sess, req)
+			resp := s.dispatch(sess, req, codec)
+			putFrame(req)
+			respCh <- resp
 		}
 	}()
 
@@ -399,8 +474,9 @@ func (s *Server) serveConcurrent(conn net.Conn, st *connState, dec *gob.Decoder,
 		if s.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
-		req := new(frame)
-		if err := dec.Decode(req); err != nil {
+		req := getFrame()
+		if err := fr.readFrame(req); err != nil {
+			putFrame(req)
 			if !errors.Is(err, io.EOF) {
 				s.logf("rmi server %s: %v", s.Name, err)
 			}
@@ -450,10 +526,34 @@ func (s *Server) handshake(hello *frame) (*Session, error) {
 	return sess, nil
 }
 
+// framePool recycles request and response frames (and their payload
+// buffers) across the serve loops. A frame returns to the pool only
+// once its single owner is done with it: requests after dispatch
+// returns, responses after writeFrame — both loops are strictly
+// sequential per frame, so no pooled frame is ever aliased.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+// putFrame resets a frame for reuse, keeping the payload buffer's
+// capacity (the binary reader and the payload encoder both append into
+// it). Every non-payload field is zeroed so a pooled frame can go
+// straight into a gob decode, which leaves absent fields untouched.
+func putFrame(f *frame) {
+	pl := f.Payload
+	*f = frame{}
+	f.Payload = pl[:0]
+	framePool.Put(f)
+}
+
 // dispatch runs one request through its handler, vetting the response
-// against the provider's marshalling policy.
-func (s *Server) dispatch(sess *Session, req *frame) *frame {
-	resp := &frame{Kind: kindResponse, ID: req.ID}
+// against the provider's marshalling policy. The reply payload is
+// encoded under the connection's codec, so binary peers get the
+// hand-written encodings and gob peers the legacy bytes. The returned
+// frame comes from framePool; the caller releases it after writing.
+func (s *Server) dispatch(sess *Session, req *frame, codec Codec) *frame {
+	resp := getFrame()
+	resp.Kind, resp.ID = kindResponse, req.ID
 	if req.Kind != kindRequest || req.Session != sess.ID {
 		resp.Err = "rmi: protocol error"
 		return resp
@@ -486,15 +586,14 @@ func (s *Server) dispatch(sess *Session, req *frame) *frame {
 		resp.Err = fmt.Sprintf("rmi: response %T does not declare its port data", reply)
 		return resp
 	}
-	for _, v := range pd.PortData() {
-		if err := policy.CheckOutbound(v); err != nil {
-			resp.Err = err.Error()
-			return resp
-		}
+	if err := checkOutbound(policy, pd); err != nil {
+		resp.Err = err.Error()
+		return resp
 	}
-	payload, err := Encode(reply)
+	payload, err := appendPayload(resp.Payload[:0], reply, codec)
 	if err != nil {
 		resp.Err = err.Error()
+		resp.Payload = resp.Payload[:0]
 		return resp
 	}
 	resp.Payload = payload

@@ -1,11 +1,21 @@
 // Package rmi is gocad's stand-in for Java RMI: a compact remote-method
-// protocol over TCP (or any net.Conn) with gob-serialized arguments,
-// HMAC-authenticated sessions, client-side stubs, an enforced
-// marshalling policy (only port-value data crosses the IP boundary), and
-// hooks for network emulation and blocked-time metering. It retains the
-// properties the paper relies on: remote method invocation with proper
-// argument/return serialization, a secure channel between IP user and IP
-// provider, and per-call overhead that pattern buffering must amortize.
+// protocol over TCP (or any net.Conn) with HMAC-authenticated sessions,
+// client-side stubs, an enforced marshalling policy (only port-value
+// data crosses the IP boundary), and hooks for network emulation and
+// blocked-time metering. It retains the properties the paper relies on:
+// remote method invocation with proper argument/return serialization, a
+// secure channel between IP user and IP provider, and per-call overhead
+// that pattern buffering must amortize.
+//
+// Two wire codecs are supported (DESIGN.md §12). The default binary
+// codec frames every message in hand-rolled wire format v1 — fixed
+// little-endian header, varint fields, length-prefixed sections, pooled
+// buffers — so steady-state framing allocates nothing; payload types
+// that implement BinaryAppender/BinaryDecoder bypass reflection
+// entirely. CodecGob keeps the original reflective gob framing: the
+// server auto-detects the codec per connection, so old peers keep
+// working and migration tests can prove the two codecs semantically
+// equivalent byte for byte.
 package rmi
 
 import (
@@ -13,6 +23,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"repro/internal/security"
 )
 
 // frame kinds.
@@ -60,8 +72,68 @@ func Encode(v any) ([]byte, error) {
 	return out, nil
 }
 
-// Decode gob-deserializes a payload into v (a pointer).
+// binPayloadTag marks a payload encoded with the type's own
+// AppendTo/DecodeFrom methods instead of gob. The tag byte is 0x00,
+// which can never begin a gob stream (gob's leading byte is a message
+// length in 1..127 or a negated byte count near 0xFF), so payloads stay
+// self-describing: Decode dispatches on the first byte, and mixed
+// streams — binary framing with gob payloads for cold setup types —
+// decode correctly.
+const binPayloadTag = 0x00
+
+// BinaryAppender is implemented by payload envelopes with a hand-written
+// binary encoding: AppendTo appends the type's wire form to b and
+// returns the extended slice. Hot batch types (pattern batches,
+// power/timing samples, detection-table rows) implement it so the
+// reflective gob path disappears from the steady state.
+type BinaryAppender interface {
+	AppendTo(b []byte) []byte
+}
+
+// BinaryDecoder is the decode half of BinaryAppender, implemented on the
+// pointer type. DecodeFrom must consume b exactly and must validate
+// every length prefix against the bytes present — it sees untrusted
+// input.
+type BinaryDecoder interface {
+	DecodeFrom(b []byte) error
+}
+
+// EncodePayload serializes a payload envelope for transport under the
+// given codec: types implementing BinaryAppender get their hand-written
+// encoding (tagged self-describing) under the binary codec; everything
+// else — and everything on a gob connection, preserving the legacy
+// byte-exact wire — goes through gob.
+func EncodePayload(v any, codec Codec) ([]byte, error) {
+	return appendPayload(nil, v, codec)
+}
+
+// appendPayload is EncodePayload into a caller-provided buffer: the
+// binary fast path appends in place (the server's pooled response
+// frames recycle their payload buffers through here), while the gob
+// path always returns a fresh buffer — gob owns its encoder buffering.
+func appendPayload(dst []byte, v any, codec Codec) ([]byte, error) {
+	if codec == CodecBinary {
+		if ap, ok := v.(BinaryAppender); ok {
+			return ap.AppendTo(append(dst, binPayloadTag)), nil
+		}
+	}
+	return Encode(v)
+}
+
+// Decode deserializes a payload into v (a pointer), dispatching on the
+// self-describing first byte: binary-tagged payloads decode through the
+// type's DecodeFrom, everything else through gob.
 func Decode(b []byte, v any) error {
+	if len(b) > 0 && b[0] == binPayloadTag {
+		bd, ok := v.(BinaryDecoder)
+		if !ok {
+			return fmt.Errorf("rmi: binary-tagged payload for %T, which does not implement DecodeFrom", v)
+		}
+		if err := bd.DecodeFrom(b[1:]); err != nil {
+			return fmt.Errorf("rmi: decode into %T: %w", v, err)
+		}
+		return nil
+	}
 	r := decReaderPool.Get().(*bytes.Reader)
 	r.Reset(b)
 	err := gob.NewDecoder(r).Decode(v)
@@ -80,6 +152,33 @@ func Decode(b []byte, v any) error {
 // rather than a blocklist.
 type PortData interface {
 	PortData() []any
+}
+
+// PortCounter is an optional refinement of PortData for envelopes whose
+// fields are statically port-value types (bits, words, numeric scalars,
+// strings, and slices thereof): PortValueCount returns the total the
+// policy's canonical walk would compute over PortData(), so the
+// outbound check reduces to a budget comparison without materializing
+// the []any boxing on every call — the last per-call allocation the
+// wire codec cannot remove. The two counts must agree; the iplib
+// envelope tests cross-check every implementation against
+// security.ValueCount.
+type PortCounter interface {
+	PortValueCount() int
+}
+
+// checkOutbound vets one envelope against the marshalling policy,
+// taking the self-counting fast path when the envelope offers it.
+func checkOutbound(policy *security.MarshalPolicy, pd PortData) error {
+	if pc, ok := pd.(PortCounter); ok {
+		return policy.CheckCount(pc.PortValueCount())
+	}
+	for _, v := range pd.PortData() {
+		if err := policy.CheckOutbound(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RemoteError is returned by Call when the remote method failed.

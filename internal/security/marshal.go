@@ -46,6 +46,28 @@ func (p MarshalPolicy) CheckOutbound(v any) error {
 	return nil
 }
 
+// CheckCount enforces the value budget for envelopes that report their
+// own port-value count (rmi.PortCounter): such envelopes are statically
+// port-value-typed, so the per-value content walk is redundant and only
+// the budget applies. The reported count covers the whole payload, so
+// this check is at least as strict as the per-element CheckOutbound
+// walk it replaces.
+func (p MarshalPolicy) CheckCount(n int) error {
+	max := p.MaxValues
+	if max == 0 {
+		max = DefaultMaxValues
+	}
+	if n > max {
+		return fmt.Errorf("security: payload carries %d values, policy allows %d", n, max)
+	}
+	return nil
+}
+
+// ValueCount exposes the policy's value metric for one port-data
+// element, so self-counting envelopes can be cross-checked against the
+// canonical walk in tests.
+func ValueCount(v any) (int, error) { return countValues(v) }
+
 // countValues walks a payload counting scalar values and rejecting
 // non-port-value content.
 func countValues(v any) (int, error) {

@@ -143,8 +143,13 @@ func Run(c *module.Circuit, opts Options) Stats {
 	}
 	e := &engine{plan: plan, opts: opts, pool: sim.Pool{Workers: opts.Workers}}
 	e.stats.CutCost = plan.CutCost
+	perShard := make([]int, len(plan.Shards))
+	for _, a := range plan.Assign {
+		perShard[a]++
+	}
 	for i := range plan.Shards {
 		s := &shardState{sched: sim.NewScheduler()}
+		s.sched.ReserveTokens(4 * (perShard[i] + 1))
 		s.ctx = s.sched.NewContext()
 		s.ctx.Setup = opts.Setup
 		src := i
@@ -331,9 +336,11 @@ func (e *engine) runInstant(T sim.Time, limit uint64) (crossed int, err error) {
 		// End-of-instant estimation over every leaf in global order —
 		// the single-scheduler instant hook verbatim, serialized so the
 		// setup's sample record stays in canonical order.
+		tok := &sim.EstimationToken{T: T, Setup: e.opts.Setup}
 		for gi, m := range e.plan.Leaves {
 			s := e.shards[e.plan.Assign[gi]]
-			m.HandleToken(s.ctx, &sim.EstimationToken{T: T, Dst: m, Setup: e.opts.Setup})
+			tok.Dst = m
+			m.HandleToken(s.ctx, tok)
 		}
 	}
 	return crossed, nil

@@ -45,6 +45,10 @@ func (c *Controller) AddHandlers(hs ...Handler) { c.handlers = append(c.handlers
 func (c *Controller) Start(setup any, configure func(*Scheduler)) Stats {
 	sched := NewScheduler()
 	sched.EventLimit = c.EventLimit
+	// Size the token arena from the design: at one instant every handler
+	// can drive a few ports, so a small multiple of the handler count
+	// covers the live-token high-water mark of typical netlists.
+	sched.ReserveTokens(4 * len(c.handlers))
 	if configure != nil {
 		configure(sched)
 	}

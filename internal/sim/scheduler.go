@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/signal"
 )
 
 // SchedulerID uniquely identifies a scheduler instance for the lifetime of
@@ -121,6 +123,13 @@ type Scheduler struct {
 	// sharding coordinator installs one to capture cross-scheduler posts
 	// and re-inject them with globally assigned sequence stamps.
 	intercept func(Token) bool
+
+	// arena slab-allocates this scheduler's signal tokens
+	// (Context.AcquireSignal); sized up front by ReserveTokens.
+	arena tokenArena
+
+	// scratch is the reusable batch buffer of Run's instant drain.
+	scratch []scheduledToken
 
 	// Stats
 	delivered uint64
@@ -287,6 +296,18 @@ func (c *Context) Post(tok Token) { c.sched.Post(tok) }
 // PostSignal is a convenience wrapper building and posting a SignalToken.
 func (c *Context) PostSignal(t *SignalToken) { c.sched.Post(t) }
 
+// AcquireSignal returns a SignalToken from the scheduler's slab arena —
+// the zero-allocation steady-state replacement for AcquireSignalToken.
+// The same two rules bind its users: the receiving handler must not
+// retain the token past HandleToken (the delivering scheduler releases
+// it back to its arena), and the poster must not re-post a token it has
+// already posted.
+func (c *Context) AcquireSignal(t Time, dst Handler, port int, v signal.Value, src string) *SignalToken {
+	tok := c.sched.arena.acquire()
+	tok.T, tok.Dst, tok.Port, tok.Value, tok.Src = t, dst, port, v, src
+	return tok
+}
+
 // Scheduler exposes the underlying scheduler, for controllers that need
 // override management during a run (fault injection).
 func (c *Context) Scheduler() *Scheduler { return c.sched }
@@ -307,9 +328,21 @@ func (s *Scheduler) deliver(ctx *Context, tok Token) {
 	}
 	dst.HandleToken(ctx, tok)
 	if st, ok := tok.(*SignalToken); ok {
-		st.recycle()
+		if st.arenaOwned {
+			// Release into the DELIVERING scheduler's arena: for tokens
+			// that migrated across a shard boundary, ownership moves with
+			// them, keeping every arena single-writer.
+			s.arena.release(st)
+		} else {
+			st.recycle()
+		}
 	}
 }
+
+// ReserveTokens pre-sizes the scheduler's token arena so n signal tokens
+// can be live at once without a mid-run allocation. Controllers call it
+// before a run, sized from the circuit (ports, handlers, queue depth).
+func (s *Scheduler) ReserveTokens(n int) { s.arena.reserve(n) }
 
 // RunOptions bounds a scheduler run.
 type RunOptions struct {
@@ -344,14 +377,40 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 			s.started = true
 			s.now = next
 		}
-		// Drain the full instant.
+		// Drain the full instant in batches: pop every token currently due
+		// at this instant into the reusable scratch buffer, then deliver in
+		// (time, seq) order. Tokens a delivery posts back into this instant
+		// always carry higher sequence stamps than anything popped, so the
+		// next batch round delivers them after this one — the order is
+		// identical to pop-one-deliver-one, without re-sifting the heap
+		// against tokens that are already committed for delivery.
 		for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
-			it := s.queue.popMin()
 			if budget == 0 {
 				return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
 			}
-			budget--
-			s.deliver(ctx, it.tok)
+			first := s.queue.popMin()
+			if len(s.queue) == 0 || s.queue[0].tok.When() != s.now {
+				// Lone token at this instant — the common case for sparse
+				// traffic — delivers directly, skipping the batch buffer
+				// and its bookkeeping.
+				budget--
+				s.deliver(ctx, first.tok)
+				continue
+			}
+			s.scratch = append(s.scratch[:0], first)
+			for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
+				s.scratch = append(s.scratch, s.queue.popMin())
+			}
+			for i := range s.scratch {
+				if budget == 0 {
+					s.scratch = clearScratch(s.scratch)
+					return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
+				}
+				budget--
+				tok := s.scratch[i].tok
+				s.scratch[i] = scheduledToken{} // release before delivery may recycle
+				s.deliver(ctx, tok)
+			}
 		}
 		// The instant is complete only if nothing was rescheduled for it.
 		if len(s.queue) == 0 || s.queue[0].tok.When() > s.now {
@@ -365,6 +424,15 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 		}
 	}
 	return nil
+}
+
+// clearScratch zeroes the batch buffer so abandoned entries do not pin
+// tokens, returning the empty slice for reuse.
+func clearScratch(scratch []scheduledToken) []scheduledToken {
+	for i := range scratch {
+		scratch[i] = scheduledToken{}
+	}
+	return scratch[:0]
 }
 
 // NewContext returns a Context bound to this scheduler.

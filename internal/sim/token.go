@@ -66,6 +66,10 @@ type SignalToken struct {
 	// pooled marks tokens drawn from the shared pool (AcquireSignalToken);
 	// the scheduler returns them after delivery.
 	pooled bool
+	// arenaOwned marks tokens drawn from a scheduler's slab arena
+	// (Context.AcquireSignal); the delivering scheduler releases them to
+	// its own arena after delivery.
+	arenaOwned bool
 }
 
 // signalTokenPool recycles SignalTokens across simulation runs. Signal
