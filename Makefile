@@ -3,6 +3,13 @@ FUZZTIME ?= 15s
 BENCHTIME ?= 1s
 BENCHDATE := $(shell date +%Y-%m-%d)
 
+# BENCH_GOFLAGS is the GOFLAGS value shared by `make bench` and
+# `make lint`: the noalloc analyzer shells out to `go build -gcflags=-m`
+# with the inherited environment, so running both under the same flags
+# keeps the escape analysis the lint gate sees identical to the
+# conditions the benchmarks measure.
+BENCH_GOFLAGS ?=
+
 .PHONY: all build test race fuzz vet lint vuln bench benchdiff smoke-bench chaos shards ci clean
 
 all: build test
@@ -21,11 +28,14 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: the gocad-lint suite machine-checks
-# the kernel's determinism, token-lifecycle and RMI-safety invariants
-# (DESIGN.md §8). Zero findings is a hard CI gate.
+# the kernel's determinism, token-lifecycle, RMI-safety, capability-
+# sandbox, wire-codec-symmetry and no-alloc invariants (DESIGN.md §8 and
+# §13). Zero findings is a hard CI gate; -timings surfaces the load and
+# per-analyzer wall time. GOFLAGS matches `make bench` so the noalloc
+# escape analysis sees benchmark conditions.
 lint:
-	$(GO) run ./cmd/gocad-lint ./...
-	$(GO) test -count=1 -run='TestRepoIsClean|CodecParity' ./internal/lint/... ./internal/core/
+	GOFLAGS="$(BENCH_GOFLAGS)" $(GO) run ./cmd/gocad-lint -timings ./...
+	GOFLAGS="$(BENCH_GOFLAGS)" $(GO) test -count=1 -run='TestRepoIsClean|CodecParity' ./internal/lint/... ./internal/core/
 
 # Non-blocking dependency-vulnerability advisory; skipped silently when
 # govulncheck is not installed (it is not vendored).
@@ -80,7 +90,7 @@ shards:
 # Full benchmark sweep with allocation stats, archived as a dated JSON
 # snapshot (one go-test event per line) for regression comparison.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | tee BENCH_$(BENCHDATE).json
+	GOFLAGS="$(BENCH_GOFLAGS)" $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . | tee BENCH_$(BENCHDATE).json
 	@echo "benchmark snapshot written to BENCH_$(BENCHDATE).json"
 
 # Quick CI smoke: the kernel and fault-simulation benchmarks only, one

@@ -11,8 +11,12 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> gocad-lint ./... (DESIGN.md §8 invariants)"
-go run ./cmd/gocad-lint ./...
+echo "==> gocad-lint ./... (DESIGN.md §8 + §13 invariants, 8 analyzers)"
+# -timings surfaces the shared package-load cost and each analyzer's
+# wall time in the CI log. GOFLAGS is inherited by the noalloc
+# analyzer's `go build -gcflags=-m`, matching `make bench` conditions
+# (both default to empty; export BENCH_GOFLAGS-style overrides to both).
+go run ./cmd/gocad-lint -timings ./...
 
 echo "==> go test ./..."
 go test ./...

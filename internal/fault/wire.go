@@ -10,6 +10,8 @@ import (
 // and fault-free words as packed bit vectors, then a length-prefixed row
 // vector of (output word, fault-name list) pairs. Used by the rmi binary
 // codec's FaultTableResp payload (DESIGN.md §12).
+//
+//gocad:noalloc
 func (dt *DetectionTable) AppendTo(b []byte) []byte {
 	b = wire.AppendWord(b, dt.Input)
 	b = wire.AppendWord(b, dt.FaultFree)

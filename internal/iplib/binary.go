@@ -22,6 +22,8 @@ import (
 // reflection entirely for these types.
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r EvalReq) AppendTo(b []byte) []byte {
 	b = wire.AppendUvarint(b, r.Instance)
 	return wire.AppendBits(b, r.Inputs)
@@ -41,6 +43,8 @@ func (r *EvalReq) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r EvalResp) AppendTo(b []byte) []byte {
 	return wire.AppendBits(b, r.Outputs)
 }
@@ -56,6 +60,8 @@ func (r *EvalResp) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r PowerBatchReq) AppendTo(b []byte) []byte {
 	b = wire.AppendUvarint(b, r.Instance)
 	b = wire.AppendPatterns(b, r.Patterns)
@@ -79,6 +85,8 @@ func (r *PowerBatchReq) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r PowerBatchResp) AppendTo(b []byte) []byte {
 	b = wire.AppendFloat64s(b, r.PowerPerPattern)
 	return wire.AppendFloat64(b, r.FeeCents)
@@ -98,6 +106,8 @@ func (r *PowerBatchResp) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r TimingBatchReq) AppendTo(b []byte) []byte {
 	b = wire.AppendUvarint(b, r.Instance)
 	return wire.AppendPatterns(b, r.Patterns)
@@ -117,6 +127,8 @@ func (r *TimingBatchReq) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r TimingBatchResp) AppendTo(b []byte) []byte {
 	b = wire.AppendFloat64s(b, r.DelayPerPattern)
 	return wire.AppendFloat64(b, r.FeeCents)
@@ -200,6 +212,8 @@ func (r *FaultListResp) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r FaultTableReq) AppendTo(b []byte) []byte {
 	b = wire.AppendUvarint(b, r.Instance)
 	return wire.AppendBits(b, r.Inputs)
@@ -219,6 +233,8 @@ func (r *FaultTableReq) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r FaultTableResp) AppendTo(b []byte) []byte {
 	return r.Table.AppendTo(b)
 }
@@ -231,6 +247,8 @@ func (r *FaultTableResp) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r TestSetReq) AppendTo(b []byte) []byte {
 	b = wire.AppendUvarint(b, r.Instance)
 	b = wire.AppendVarint(b, int64(r.MaxCandidates))
@@ -256,6 +274,8 @@ func (r *TestSetReq) DecodeFrom(buf []byte) error {
 }
 
 // AppendTo implements rmi.BinaryAppender.
+//
+//gocad:noalloc
 func (r TestSetResp) AppendTo(b []byte) []byte {
 	b = wire.AppendPatterns(b, r.Patterns)
 	b = wire.AppendFloat64(b, r.Coverage)

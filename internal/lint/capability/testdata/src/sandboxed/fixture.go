@@ -1,0 +1,53 @@
+// Package fixture stands in for a sandboxed public-part skeleton
+// package (loaded as repro/internal/module/fixture): the import gate
+// must reject the os import, the reachability walk must flag the
+// wall-clock read behind the exported entry point with its chain, and
+// the blessed security seam plus genuinely unreachable code must stay
+// silent.
+package fixture
+
+import (
+	"os" // want `forbidden capability for downloaded-part code`
+	"time"
+
+	"repro/internal/security"
+)
+
+// Part is a downloaded-part skeleton; its exported methods are the
+// surface a user design invokes.
+type Part struct {
+	sb *security.Sandbox
+}
+
+// HandleEvent is an entry point that reaches the wall clock two hops
+// down — the finding must name the full chain.
+func (p *Part) HandleEvent() {
+	p.meter()
+}
+
+func (p *Part) meter() {
+	stamp()
+}
+
+func stamp() {
+	_ = time.Now() // want `sandboxed code reaches time\.Now \(chain: HandleEvent -> meter -> stamp -> time\.Now\)`
+}
+
+// Wait only does duration arithmetic on values handed in — representing
+// time is legal, observing it is not.
+func (p *Part) Wait(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// CheckRead goes through the blessed provider-channel seam; the runtime
+// sandbox decides, the analyzer stays silent.
+func (p *Part) CheckRead() error {
+	return p.sb.Require(security.CapFileRead)
+}
+
+// orphan is unexported and never called from any entry point, so its
+// forbidden call produces no chain finding — the import gate above
+// already owns the os import itself.
+func orphan() int {
+	return os.Getpid()
+}

@@ -13,18 +13,30 @@ import (
 // placed either on the line of the finding (trailing comment) or on the
 // line immediately above it. The reason is mandatory: a suppression
 // without a recorded justification is itself reported, so silent
-// opt-outs cannot accumulate.
+// opt-outs cannot accumulate. Directives are also validated against the
+// analyzer suite actually running: naming an analyzer that does not
+// exist (a typo, or a check that was renamed or retired) is reported,
+// and a well-formed directive that suppresses nothing is reported as
+// stale — both via the pseudo-analyzer "lintdirective" — so dead
+// suppressions are pruned instead of silently rotting.
 const ignorePrefix = "//lint:ignore"
+
+// directiveAnalyzer is the pseudo-analyzer name under which directive
+// problems (malformed, unknown analyzer, stale) are reported.
+const directiveAnalyzer = "lintdirective"
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	analyzers []string
 	reason    string
 	pos       token.Position
+	// used records whether the directive suppressed at least one
+	// diagnostic in this run; an unused well-formed directive is stale.
+	used bool
 }
 
 // covers reports whether the directive suppresses the named analyzer.
-func (d ignoreDirective) covers(name string) bool {
+func (d *ignoreDirective) covers(name string) bool {
 	for _, a := range d.analyzers {
 		if a == name {
 			return true
@@ -34,12 +46,15 @@ func (d ignoreDirective) covers(name string) bool {
 }
 
 // ignoreIndex maps file -> line -> directives for one package.
-type ignoreIndex map[string]map[int]ignoreDirective
+type ignoreIndex map[string]map[int]*ignoreDirective
 
 // collectIgnores parses every //lint:ignore directive in the package.
-// Malformed directives (no analyzer list, or no reason) are reported as
-// diagnostics of the pseudo-analyzer "lintdirective" via report.
-func collectIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) ignoreIndex {
+// Malformed directives (no analyzer list, or no reason) and directives
+// naming analyzers absent from the known set are reported as diagnostics
+// of the pseudo-analyzer "lintdirective" via report. known maps every
+// analyzer name in the running suite to true; a nil map disables the
+// unknown-name check.
+func collectIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic), known map[string]bool) ignoreIndex {
 	idx := make(ignoreIndex)
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -52,19 +67,30 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnost
 				names, reason, ok := strings.Cut(rest, " ")
 				if !ok || names == "" || strings.TrimSpace(reason) == "" {
 					report(Diagnostic{
-						Analyzer: "lintdirective",
+						Analyzer: directiveAnalyzer,
 						Pos:      pos,
 						Message:  "malformed //lint:ignore directive: want \"//lint:ignore analyzer[,analyzer] reason\"",
 					})
 					continue
 				}
-				d := ignoreDirective{
+				d := &ignoreDirective{
 					analyzers: strings.Split(names, ","),
 					reason:    strings.TrimSpace(reason),
 					pos:       pos,
 				}
+				if known != nil {
+					for _, a := range d.analyzers {
+						if !known[a] && a != directiveAnalyzer {
+							report(Diagnostic{
+								Analyzer: directiveAnalyzer,
+								Pos:      pos,
+								Message:  "//lint:ignore names unknown analyzer \"" + a + "\": not in the running suite (typo, renamed, or retired check)",
+							})
+						}
+					}
+				}
 				if idx[pos.Filename] == nil {
-					idx[pos.Filename] = make(map[int]ignoreDirective)
+					idx[pos.Filename] = make(map[int]*ignoreDirective)
 				}
 				idx[pos.Filename][pos.Line] = d
 			}
@@ -74,7 +100,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnost
 }
 
 // suppressed reports whether a diagnostic is covered by a directive on
-// its own line or the line above.
+// its own line or the line above, marking the covering directive used.
 func (idx ignoreIndex) suppressed(d Diagnostic) bool {
 	lines := idx[d.Pos.Filename]
 	if lines == nil {
@@ -82,8 +108,39 @@ func (idx ignoreIndex) suppressed(d Diagnostic) bool {
 	}
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
 		if dir, ok := lines[line]; ok && dir.covers(d.Analyzer) {
+			dir.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// staleDirectives reports every well-formed directive that names at
+// least one analyzer from the running suite yet suppressed nothing —
+// the finding it once silenced has been refactored away, so the
+// directive should be pruned. Directives naming only unknown analyzers
+// are skipped (already reported as unknown).
+func (idx ignoreIndex) staleDirectives(report func(Diagnostic), known map[string]bool) {
+	for _, lines := range idx {
+		for _, d := range lines {
+			if d.used {
+				continue
+			}
+			inSuite := known == nil
+			for _, a := range d.analyzers {
+				if known[a] {
+					inSuite = true
+					break
+				}
+			}
+			if !inSuite {
+				continue
+			}
+			report(Diagnostic{
+				Analyzer: directiveAnalyzer,
+				Pos:      d.pos,
+				Message:  "stale //lint:ignore directive: it suppresses no finding on this or the next line; remove it",
+			})
+		}
+	}
 }

@@ -40,9 +40,12 @@ func TestIgnoreDirectives(t *testing.T) {
 		line     int
 	}
 	want := []key{
-		{"lintdirective", 14}, // //lint:ignore with no reason
-		{"callcount", 15},     // the malformed directive suppresses nothing
-		{"callcount", 19},     // undirected call in plainCall
+		{"lintdirective", 16}, // //lint:ignore with no reason
+		{"callcount", 17},     // the malformed directive suppresses nothing
+		{"callcount", 21},     // undirected call in plainCall
+		{"lintdirective", 25}, // directive naming an analyzer outside the suite
+		{"callcount", 26},     // unknown-analyzer directive suppresses nothing
+		{"lintdirective", 30}, // well-formed directive with no finding to suppress
 	}
 	var got []key
 	for _, d := range diags {

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/noalloc"
+)
+
+func TestHotFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hot", "repro/internal/sim/fixture", noalloc.Analyzer)
+}

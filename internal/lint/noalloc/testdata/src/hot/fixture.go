@@ -1,0 +1,45 @@
+// Package hot is the noalloc fixture: an annotated function that leaks
+// an allocation must be flagged, an annotated allocation-free function
+// and an unannotated allocator must stay silent, and an annotated
+// function whose slow path is outlined behind //go:noinline must pass.
+package hot
+
+var sink *int
+
+// Leaky promises zero allocations but lets a new escape.
+//
+//gocad:noalloc
+func Leaky() {
+	x := new(int) // want `//gocad:noalloc function Leaky allocates`
+	sink = x
+}
+
+// Clean appends into a caller-owned buffer: no heap traffic.
+//
+//gocad:noalloc
+func Clean(b []byte, v byte) []byte {
+	return append(b, v)
+}
+
+// Unchecked allocates freely — no annotation, no finding.
+func Unchecked() *int {
+	return new(int)
+}
+
+// Outlined keeps its allocating slow path behind a //go:noinline
+// helper, so the annotated body itself is allocation-free.
+//
+//gocad:noalloc
+func Outlined(b []byte) []byte {
+	if cap(b)-len(b) < 1 {
+		b = grow(b)
+	}
+	return append(b, 0)
+}
+
+//go:noinline
+func grow(b []byte) []byte {
+	nb := make([]byte, len(b), 2*cap(b)+1)
+	copy(nb, b)
+	return nb
+}

@@ -7,11 +7,14 @@ package registry
 
 import (
 	"repro/internal/lint"
+	"repro/internal/lint/capability"
 	"repro/internal/lint/histrelease"
 	"repro/internal/lint/lockheldrmi"
+	"repro/internal/lint/noalloc"
 	"repro/internal/lint/remoteerr"
 	"repro/internal/lint/simdeterminism"
 	"repro/internal/lint/tokenpool"
+	"repro/internal/lint/wiresym"
 )
 
 // All returns the full analyzer suite in its canonical order.
@@ -22,5 +25,8 @@ func All() []*lint.Analyzer {
 		histrelease.Analyzer,
 		lockheldrmi.Analyzer,
 		remoteerr.Analyzer,
+		capability.Analyzer,
+		wiresym.Analyzer,
+		noalloc.Analyzer,
 	}
 }

@@ -34,7 +34,10 @@ func TestRepoIsClean(t *testing.T) {
 // TestSuiteComplete pins the analyzer roster so a dropped registration
 // fails loudly instead of silently weakening CI.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"simdeterminism", "tokenpool", "histrelease", "lockheld-rmi", "remote-err"}
+	want := []string{
+		"simdeterminism", "tokenpool", "histrelease", "lockheld-rmi",
+		"remote-err", "capability", "wiresym", "noalloc",
+	}
 	all := registry.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

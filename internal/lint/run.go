@@ -1,16 +1,49 @@
 package lint
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
+
+// Timing records the cumulative wall time one analyzer spent across all
+// packages in a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
 
 // RunAnalyzers applies every analyzer to every package, filters findings
 // through //lint:ignore directives, and returns the surviving
 // diagnostics sorted by position. Analyzer errors (not findings) abort.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-time
+// accounting. Timings are returned in the order analyzers were given,
+// each entry summing that analyzer's Run time over every package.
+//
+// Directive hygiene is enforced here because only the runner knows the
+// full suite: //lint:ignore comments naming analyzers outside the run
+// are reported as unknown, and well-formed directives that suppress no
+// finding are reported as stale (both under the "lintdirective"
+// pseudo-analyzer).
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	known := make(map[string]bool, len(analyzers))
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		collect := func(d Diagnostic) { raw = append(raw, d) }
-		ignores := collectIgnores(pkg.Fset, pkg.Files, collect)
+		// Directive diagnostics (malformed/unknown/stale) bypass the
+		// suppression filter: a directive cannot vouch for itself.
+		var direct []Diagnostic
+		report := func(d Diagnostic) { direct = append(direct, d) }
+		ignores := collectIgnores(pkg.Fset, pkg.Files, report, known)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -20,8 +53,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				TypesInfo: pkg.Info,
 				report:    collect,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, err
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, err
 			}
 		}
 		for _, d := range raw {
@@ -29,6 +65,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				out = append(out, d)
 			}
 		}
+		ignores.staleDirectives(report, known)
+		out = append(out, direct...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -43,5 +81,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return out, timings, nil
 }

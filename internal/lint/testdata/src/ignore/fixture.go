@@ -1,6 +1,8 @@
 // Package fixture exercises //lint:ignore directive handling: a
 // well-formed directive suppresses, a directive without a justification
-// is itself reported and suppresses nothing.
+// is itself reported and suppresses nothing, a directive naming an
+// analyzer outside the running suite is reported as unknown, and a
+// well-formed directive that suppresses nothing is reported as stale.
 package fixture
 
 func target() {}
@@ -17,4 +19,15 @@ func malformedDirective() {
 
 func plainCall() {
 	target()
+}
+
+func unknownAnalyzer() {
+	//lint:ignore nosuchcheck fixture: analyzer name typo
+	target()
+}
+
+func staleDirective() {
+	//lint:ignore callcount fixture: the call this once silenced was refactored away
+	var x int
+	_ = x
 }

@@ -1,0 +1,168 @@
+// Package fixture stands in for a wire-codec package (loaded as
+// repro/internal/iplib/fixture) and seeds one violation per wiresym
+// invariant: a one-sided codec each way, a field-order drift, a decoder
+// that accepts trailing garbage, and an unbounded decoded count — plus
+// clean codecs proving the accepted forms stay silent.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// trailing mirrors the iplib helper the analyzer recognizes.
+func trailing(typ string, buf []byte) error {
+	if len(buf) != 0 {
+		return fmt.Errorf("%s: %d trailing bytes", typ, len(buf))
+	}
+	return nil
+}
+
+// Good is a fully symmetric codec: same fields, same order, bounded
+// count, trailing rejection.
+type Good struct {
+	ID   uint64
+	Vals []float64
+}
+
+func (g *Good) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, g.ID)
+	return wire.AppendFloat64s(b, g.Vals)
+}
+
+func (g *Good) DecodeFrom(buf []byte) error {
+	var err error
+	*g = Good{}
+	if g.ID, buf, err = wire.Uvarint(buf); err != nil {
+		return err
+	}
+	if g.Vals, buf, err = wire.Float64s(buf); err != nil {
+		return err
+	}
+	return trailing("Good", buf)
+}
+
+// Orphan can be encoded but never parsed.
+type Orphan struct{ A uint64 }
+
+func (o *Orphan) AppendTo(b []byte) []byte { // want `Orphan has AppendTo but no matching DecodeFrom`
+	return wire.AppendUvarint(b, o.A)
+}
+
+// Widow can be parsed but never produced.
+type Widow struct{ A uint64 }
+
+func (w *Widow) DecodeFrom(buf []byte) error { // want `Widow has DecodeFrom but no matching AppendTo`
+	var err error
+	if w.A, buf, err = wire.Uvarint(buf); err != nil {
+		return err
+	}
+	return trailing("Widow", buf)
+}
+
+// Drift gained field B on the encoder side only — the classic silent
+// wire-format divergence.
+type Drift struct {
+	A uint64
+	B string
+}
+
+func (d *Drift) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, d.A)
+	return wire.AppendString(b, d.B)
+}
+
+func (d *Drift) DecodeFrom(buf []byte) error { // want `field mismatch for Drift: encoder touches \[A B\], decoder touches \[A\]`
+	var err error
+	*d = Drift{}
+	if d.A, buf, err = wire.Uvarint(buf); err != nil {
+		return err
+	}
+	return trailing("Drift", buf)
+}
+
+// Loose decodes its field but accepts any trailing garbage.
+type Loose struct{ A uint64 }
+
+func (l *Loose) AppendTo(b []byte) []byte {
+	return wire.AppendUvarint(b, l.A)
+}
+
+func (l *Loose) DecodeFrom(buf []byte) error { // want `Loose\.DecodeFrom does not reject trailing bytes`
+	var err error
+	l.A, buf, err = wire.Uvarint(buf)
+	_ = buf
+	return err
+}
+
+// Hungry trusts a decoded count to size an allocation with no bound
+// check: a 3-byte frame can demand gigabytes.
+type Hungry struct{ Rows []float64 }
+
+func (h *Hungry) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(h.Rows)))
+	for _, v := range h.Rows {
+		b = wire.AppendFloat64(b, v)
+	}
+	return b
+}
+
+func (h *Hungry) DecodeFrom(buf []byte) error {
+	var err error
+	*h = Hungry{}
+	var n uint64
+	if n, buf, err = wire.Uvarint(buf); err != nil {
+		return err
+	}
+	h.Rows = make([]float64, n) // want `count "n" from wire\.Uvarint used to size an allocation without a bound check`
+	for i := range h.Rows {
+		if h.Rows[i], buf, err = wire.Float64(buf); err != nil {
+			return err
+		}
+	}
+	return trailing("Hungry", buf)
+}
+
+// Bounded guards a derived quantity (packed bytes) against the input
+// before sizing the loop — the wire.Bits pattern; must stay silent.
+type Bounded struct{ Flags []bool }
+
+func (bo *Bounded) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(bo.Flags)))
+	for _, f := range bo.Flags {
+		b = wire.AppendBool(b, f)
+	}
+	return b
+}
+
+func (bo *Bounded) DecodeFrom(buf []byte) error {
+	var err error
+	*bo = Bounded{}
+	var n uint64
+	if n, buf, err = wire.Uvarint(buf); err != nil {
+		return err
+	}
+	if n > uint64(len(buf)) {
+		return fmt.Errorf("Bounded: count %d exceeds %d remaining bytes", n, len(buf))
+	}
+	bo.Flags = make([]bool, n)
+	for i := range bo.Flags {
+		if bo.Flags[i], buf, err = wire.Bool(buf); err != nil {
+			return err
+		}
+	}
+	return trailing("Bounded", buf)
+}
+
+// Nested delegates decoding to an inner codec — the delegation form of
+// trailing rejection; must stay silent.
+type Nested struct{ Inner Good }
+
+func (ne *Nested) AppendTo(b []byte) []byte {
+	return ne.Inner.AppendTo(b)
+}
+
+func (ne *Nested) DecodeFrom(buf []byte) error {
+	return ne.Inner.DecodeFrom(buf)
+}

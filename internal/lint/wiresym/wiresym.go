@@ -1,0 +1,406 @@
+// Package wiresym machine-checks wire format v1's codec invariants
+// (DESIGN.md §12) so the hand-rolled binary envelopes cannot silently
+// drift when a struct gains a field:
+//
+//  1. Pairing — within a codec package, every type with an AppendTo
+//     method must have a DecodeFrom and vice versa. A one-sided codec is
+//     a type that can be sent but never parsed (or parsed but never
+//     produced), which only surfaces as a cross-version interop failure.
+//  2. Field symmetry — the sequence of distinct receiver fields the
+//     encoder touches must equal, in first-use order, the sequence the
+//     decoder touches. Adding a field to AppendTo without updating
+//     DecodeFrom (or reordering one side) is exactly the drift the
+//     fuzzers only catch probabilistically.
+//  3. Trailing-byte rejection — every DecodeFrom must end by rejecting
+//     unconsumed input: a call to a trailing() helper, an explicit
+//     len(buf)-vs-0 check, or delegation to another DecodeFrom.
+//     Decoders that ignore trailing bytes accept corrupted or truncated
+//     frames as valid.
+//  4. Count-bound validation — a count decoded via wire.Uvarint that
+//     sizes work (a make, a decode loop) must first be bounded against
+//     the remaining input length, directly or through a derived
+//     quantity. An unbounded count lets a 10-byte frame demand a
+//     multi-gigabyte allocation.
+package wiresym
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// TargetPackages are the wire-codec packages (prefix match).
+var TargetPackages = []string{
+	"repro/internal/iplib",
+	"repro/internal/rmi",
+	"repro/internal/fault",
+	"repro/internal/wire",
+}
+
+// Analyzer is the wiresym check.
+var Analyzer = &lint.Analyzer{
+	Name: "wiresym",
+	Doc: "pair every AppendTo with its DecodeFrom and check field-for-field " +
+		"symmetry, trailing-byte rejection, and count-bound validation, so wire " +
+		"format v1 cannot silently drift when an envelope gains a field",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathMatchesAny(pass.Pkg.Path(), TargetPackages) {
+		return nil
+	}
+	type pair struct {
+		appendTo   *ast.FuncDecl
+		decodeFrom *ast.FuncDecl
+	}
+	pairs := map[string]*pair{}
+	var names []string // receiver type names in source order
+	pass.Funcs(func(fd *ast.FuncDecl) {
+		checkCountBounds(pass, fd)
+		if fd.Recv == nil {
+			return
+		}
+		if fd.Name.Name != "AppendTo" && fd.Name.Name != "DecodeFrom" {
+			return
+		}
+		recv := receiverTypeName(fd)
+		if recv == "" {
+			return
+		}
+		p := pairs[recv]
+		if p == nil {
+			p = &pair{}
+			pairs[recv] = p
+			names = append(names, recv)
+		}
+		if fd.Name.Name == "AppendTo" {
+			p.appendTo = fd
+		} else {
+			p.decodeFrom = fd
+		}
+	})
+	for _, recv := range names {
+		p := pairs[recv]
+		switch {
+		case p.decodeFrom == nil:
+			pass.Reportf(p.appendTo.Pos(),
+				"%s has AppendTo but no matching DecodeFrom: a one-sided codec can be encoded but never parsed", recv)
+			continue
+		case p.appendTo == nil:
+			pass.Reportf(p.decodeFrom.Pos(),
+				"%s has DecodeFrom but no matching AppendTo: a one-sided codec can be parsed but never produced", recv)
+			continue
+		}
+		enc := fieldSequence(pass, p.appendTo)
+		dec := fieldSequence(pass, p.decodeFrom)
+		if !equalStrings(enc, dec) {
+			pass.Reportf(p.decodeFrom.Pos(),
+				"AppendTo/DecodeFrom field mismatch for %s: encoder touches [%s], decoder touches [%s] — wire format v1 requires field-for-field symmetry",
+				recv, strings.Join(enc, " "), strings.Join(dec, " "))
+		}
+		if !rejectsTrailing(p.decodeFrom) {
+			pass.Reportf(p.decodeFrom.Pos(),
+				"%s.DecodeFrom does not reject trailing bytes: end with trailing(...), an explicit len check against 0, or delegation to another DecodeFrom", recv)
+		}
+	}
+	return nil
+}
+
+// equalStrings reports element-wise equality.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// receiverTypeName extracts the named receiver type, dereferencing one
+// pointer ("*EvalReq" and "EvalReq" both yield "EvalReq").
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// fieldSequence returns the distinct receiver fields a codec method
+// touches, in first-use source order. Reading len(r.F), ranging over
+// r.F, assigning r.F, and delegating r.F.DecodeFrom(...) all count as
+// touching F.
+func fieldSequence(pass *lint.Pass, fd *ast.FuncDecl) []string {
+	recvObj := map[string]bool{} // names bound to the receiver
+	for _, f := range fd.Recv.List {
+		for _, n := range f.Names {
+			if n.Name != "_" {
+				recvObj[n.Name] = true
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var seq []string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !recvObj[id.Name] || !isReceiverIdent(pass, fd, id) {
+			return true
+		}
+		if !seen[sel.Sel.Name] {
+			seen[sel.Sel.Name] = true
+			seq = append(seq, sel.Sel.Name)
+		}
+		return true
+	})
+	return seq
+}
+
+// isReceiverIdent confirms id resolves to the method's receiver
+// parameter, not a shadowing local.
+func isReceiverIdent(pass *lint.Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for _, f := range fd.Recv.List {
+		for _, n := range f.Names {
+			if pass.TypesInfo.Defs[n] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rejectsTrailing reports whether a DecodeFrom body contains any of the
+// accepted trailing-byte rejection forms.
+func rejectsTrailing(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "trailing" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "trailing" {
+					found = true
+				}
+				// Delegation: the trailing check is the delegate's job.
+				if fun.Sel.Name == "DecodeFrom" {
+					found = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if isLenVsZero(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLenVsZero matches `len(x) != 0`, `len(x) > 0`, `0 != len(x)`, and
+// the equality forms used in early-return styles.
+func isLenVsZero(b *ast.BinaryExpr) bool {
+	switch b.Op {
+	case token.NEQ, token.GTR, token.LSS, token.EQL, token.GEQ, token.LEQ:
+	default:
+		return false
+	}
+	return (isLenCall(b.X) && isZero(b.Y)) || (isZero(b.X) && isLenCall(b.Y))
+}
+
+func isLenCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "len"
+}
+
+func isZero(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// checkCountBounds enforces invariant 4 over one function: every
+// variable assigned from wire.Uvarint that later sizes a make or bounds
+// a loop must first appear (directly or via a derived variable) in a
+// comparison against len(...) of the remaining input.
+func checkCountBounds(pass *lint.Pass, fd *ast.FuncDecl) {
+	// Collect, in source order: count origins and assignments (the raw
+	// material for derived-variable tracking).
+	var assigns []*ast.AssignStmt
+	var counts []*ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		assigns = append(assigns, as)
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.Callee(pass.TypesInfo, call)
+		if !lint.IsPkgFunc(fn, "repro/internal/wire", "Uvarint") {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			counts = append(counts, id)
+		}
+		return true
+	})
+	for _, countID := range counts {
+		origin := identObj(pass, countID)
+		if origin == nil {
+			continue
+		}
+		derived := map[any]bool{origin: true}
+		// Forward sweep: anything computed from a tracked variable is
+		// itself tracked (e.g. packed := (n+3)/4 in wire.Bits).
+		for _, as := range assigns {
+			if as.Pos() <= countID.Pos() {
+				continue
+			}
+			mentions := false
+			for _, r := range as.Rhs {
+				if exprMentions(pass, r, derived) {
+					mentions = true
+					break
+				}
+			}
+			if !mentions || len(as.Lhs) != 1 {
+				continue
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := identObj(pass, id); obj != nil {
+					derived[obj] = true
+				}
+			}
+		}
+		var guards []token.Pos
+		type use struct {
+			pos  token.Pos
+			what string
+		}
+		var uses []use
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+					xTracked, yTracked := exprMentions(pass, n.X, derived), exprMentions(pass, n.Y, derived)
+					xLen, yLen := containsLenCall(n.X), containsLenCall(n.Y)
+					if (xTracked && yLen) || (yTracked && xLen) {
+						guards = append(guards, n.Pos())
+					}
+				}
+			case *ast.ForStmt:
+				if n.Cond != nil && exprMentions(pass, n.Cond, derived) {
+					uses = append(uses, use{n.Pos(), "bound a decode loop"})
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" && len(n.Args) >= 2 {
+					for _, arg := range n.Args[1:] {
+						if exprMentions(pass, arg, derived) {
+							uses = append(uses, use{n.Pos(), "size an allocation"})
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+		for _, u := range uses {
+			guarded := false
+			for _, g := range guards {
+				if g < u.pos {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				pass.Reportf(u.pos,
+					"count %q from wire.Uvarint used to %s without a bound check against the remaining input: a short frame can demand an arbitrarily large amount of work",
+					countID.Name, u.what)
+			}
+		}
+	}
+}
+
+// identObj resolves an identifier to its object whether the occurrence
+// defines (:=) or uses (=) it.
+func identObj(pass *lint.Pass, id *ast.Ident) any {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// exprMentions reports whether e contains an identifier resolving to a
+// tracked object.
+func exprMentions(pass *lint.Pass, e ast.Expr, tracked map[any]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := identObj(pass, id); obj != nil && tracked[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsLenCall reports whether e contains a call to the builtin len.
+func containsLenCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wiresym"
+)
+
+func TestCodecFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/codec", "repro/internal/iplib/fixture", wiresym.Analyzer)
+}

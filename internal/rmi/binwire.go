@@ -113,6 +113,7 @@ type binFrameWriter struct {
 	buf []byte
 }
 
+//gocad:noalloc
 func (bw *binFrameWriter) writeFrame(f *frame) error {
 	b, err := appendFrame(bw.buf[:0], f)
 	if err != nil {
@@ -124,6 +125,8 @@ func (bw *binFrameWriter) writeFrame(f *frame) error {
 }
 
 // appendFrame appends the wire-format-v1 encoding of f to b.
+//
+//gocad:noalloc
 func appendFrame(b []byte, f *frame) ([]byte, error) {
 	b = append(b, binMagic0, binMagic1, binVersion, f.Kind)
 	b = append(b, 0, 0, 0, 0) // body length, patched below
@@ -137,10 +140,19 @@ func appendFrame(b []byte, f *frame) ([]byte, error) {
 	b = wire.AppendString(b, f.Tag)
 	body := len(b) - binHeaderLen
 	if body > maxFrameBody {
-		return nil, fmt.Errorf("rmi: frame body %d bytes exceeds the %d-byte wire limit", body, maxFrameBody)
+		return nil, frameTooLarge(body)
 	}
 	binary.LittleEndian.PutUint32(b[4:8], uint32(body))
 	return b, nil
+}
+
+// frameTooLarge builds the oversize-frame error. Outlined behind
+// //go:noinline so its fmt boxing stays off appendFrame's
+// //gocad:noalloc steady-state path.
+//
+//go:noinline
+func frameTooLarge(body int) error {
+	return fmt.Errorf("rmi: frame body %d bytes exceeds the %d-byte wire limit", body, maxFrameBody)
 }
 
 // binFrameReader decodes frames from the connection into one reusable

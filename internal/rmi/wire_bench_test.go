@@ -62,21 +62,37 @@ func BenchmarkDecode(b *testing.B) {
 // is gob encoder state plus the returned exact-size slice; unpooled, the
 // grown buffer chain would add allocs at every size step.)
 func TestEncodeScratchAmortized(t *testing.T) {
+	// A GC between warm-up and measurement can empty the scratch pool,
+	// charging a pool-miss allocation to whichever measurement it lands
+	// in. Noise only ever ADDS allocations, so the minimum of a few
+	// rounds is the steady-state count.
 	measure := func(env echoReq) float64 {
-		for i := 0; i < 8; i++ { // warm the pool
-			if _, err := Encode(env); err != nil {
-				t.Fatal(err)
+		best := -1.0
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 8; i++ { // warm the pool
+				if _, err := Encode(env); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(100, func() {
+				if _, err := Encode(env); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if best < 0 || got < best {
+				best = got
 			}
 		}
-		return testing.AllocsPerRun(100, func() {
-			if _, err := Encode(env); err != nil {
-				t.Fatal(err)
-			}
-		})
+		return best
 	}
 	small := measure(benchEnvelope(1))
 	large := measure(benchEnvelope(256)) // ≈ 16 KiB of pattern bits
-	if large > small {
+	// Under the race detector sync.Pool.Put randomly drops ~1 in 4 items,
+	// so a handful of the 100 measured encodes miss the pool and pay a
+	// regrow. Allow that noise: the unpooled growth ladder to 16 KiB is
+	// ~8 doublings, so a slack of 2 still distinguishes pooled from not.
+	const slack = 2
+	if large > small+slack {
 		t.Errorf("Encode allocs grew with payload: %.1f at 1 pattern, %.1f at 256; scratch buffer not amortized", small, large)
 	}
 }

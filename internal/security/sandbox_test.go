@@ -1,0 +1,209 @@
+package security
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// allCapabilities enumerates every Capability value the sandbox
+// distinguishes; the matrix tests below iterate it so a new capability
+// cannot be added without being exercised here.
+var allCapabilities = []Capability{
+	CapProviderChannel, CapFileRead, CapFileWrite, CapOtherNetwork,
+}
+
+func TestAllCapabilitiesNamed(t *testing.T) {
+	if len(allCapabilities) != len(capNames) {
+		t.Fatalf("test matrix covers %d capabilities, package names %d", len(allCapabilities), len(capNames))
+	}
+	for _, c := range allCapabilities {
+		if _, ok := capNames[c]; !ok {
+			t.Errorf("capability %d has no name", int(c))
+		}
+	}
+}
+
+// TestSandboxDenialMatrix drives every capability through every sandbox
+// configuration: the paper's default policy (provider channel only), a
+// fully relaxed sandbox, a fully revoked one, and the zero value (deny
+// everything).
+func TestSandboxDenialMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Sandbox
+		want  map[Capability]bool // capability -> allowed
+	}{
+		{
+			name:  "default policy",
+			build: func() *Sandbox { return NewSandbox("part", nil) },
+			want: map[Capability]bool{
+				CapProviderChannel: true,
+				CapFileRead:        false,
+				CapFileWrite:       false,
+				CapOtherNetwork:    false,
+			},
+		},
+		{
+			name: "fully granted",
+			build: func() *Sandbox {
+				s := NewSandbox("part", nil)
+				for _, c := range allCapabilities {
+					s.Grant(c)
+				}
+				return s
+			},
+			want: map[Capability]bool{
+				CapProviderChannel: true,
+				CapFileRead:        true,
+				CapFileWrite:       true,
+				CapOtherNetwork:    true,
+			},
+		},
+		{
+			name: "fully revoked",
+			build: func() *Sandbox {
+				s := NewSandbox("part", nil)
+				for _, c := range allCapabilities {
+					s.Revoke(c)
+				}
+				return s
+			},
+			want: map[Capability]bool{
+				CapProviderChannel: false,
+				CapFileRead:        false,
+				CapFileWrite:       false,
+				CapOtherNetwork:    false,
+			},
+		},
+		{
+			name:  "zero value denies everything",
+			build: func() *Sandbox { return &Sandbox{Principal: "part"} },
+			want: map[Capability]bool{
+				CapProviderChannel: false,
+				CapFileRead:        false,
+				CapFileWrite:       false,
+				CapOtherNetwork:    false,
+			},
+		},
+		{
+			name: "zero value then granted",
+			build: func() *Sandbox {
+				s := &Sandbox{Principal: "part"}
+				s.Grant(CapFileRead)
+				return s
+			},
+			want: map[Capability]bool{
+				CapProviderChannel: false,
+				CapFileRead:        true,
+				CapFileWrite:       false,
+				CapOtherNetwork:    false,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.want) != len(allCapabilities) {
+				t.Fatalf("case covers %d capabilities, want %d", len(tc.want), len(allCapabilities))
+			}
+			s := tc.build()
+			for _, c := range allCapabilities {
+				err := s.Require(c)
+				if tc.want[c] {
+					if err != nil {
+						t.Errorf("capability %v: denied, want allowed: %v", c, err)
+					}
+					continue
+				}
+				var d *Denied
+				if !errors.As(err, &d) {
+					t.Errorf("capability %v: got %v, want *Denied", c, err)
+					continue
+				}
+				if d.Principal != "part" || d.Cap != c {
+					t.Errorf("capability %v: denial names %q/%v", c, d.Principal, d.Cap)
+				}
+			}
+		})
+	}
+}
+
+// TestAuditLogRecordsEveryDecision checks the append path end to end:
+// one entry per Require, allowed and denied both recorded, fields
+// faithful, and Entries returning a copy that later appends do not
+// mutate.
+func TestAuditLogRecordsEveryDecision(t *testing.T) {
+	var log AuditLog
+	s := NewSandbox("AUDIT.part", &log)
+	s.Grant(CapFileRead)
+	seq := []struct {
+		cap     Capability
+		allowed bool
+	}{
+		{CapProviderChannel, true},
+		{CapFileRead, true},
+		{CapFileWrite, false},
+		{CapOtherNetwork, false},
+		{CapFileWrite, false},
+	}
+	for _, step := range seq {
+		err := s.Require(step.cap)
+		if (err == nil) != step.allowed {
+			t.Fatalf("Require(%v) = %v, want allowed=%v", step.cap, err, step.allowed)
+		}
+	}
+	entries := log.Entries()
+	if len(entries) != len(seq) {
+		t.Fatalf("audit log has %d entries, want %d", len(entries), len(seq))
+	}
+	for i, e := range entries {
+		if e.Cap != seq[i].cap || e.Allowed != seq[i].allowed {
+			t.Errorf("entry %d = {%v allowed=%v}, want {%v allowed=%v}",
+				i, e.Cap, e.Allowed, seq[i].cap, seq[i].allowed)
+		}
+		if e.Principal != "AUDIT.part" {
+			t.Errorf("entry %d principal %q", i, e.Principal)
+		}
+		if e.When.IsZero() {
+			t.Errorf("entry %d has zero timestamp", i)
+		}
+	}
+	denials := log.Denials()
+	if len(denials) != 3 {
+		t.Errorf("denials = %d, want 3", len(denials))
+	}
+	for _, d := range denials {
+		if d.Allowed {
+			t.Errorf("Denials returned an allowed entry: %+v", d)
+		}
+	}
+	// Entries must be a snapshot: appending afterwards cannot grow or
+	// mutate what the caller already holds.
+	log.Append(AuditEntry{Principal: "late"})
+	if len(entries) != len(seq) {
+		t.Errorf("snapshot grew to %d entries after append", len(entries))
+	}
+}
+
+// TestAuditLogConcurrentAppend exercises the append path under
+// contention (the gateway audits every cross-boundary call).
+func TestAuditLogConcurrentAppend(t *testing.T) {
+	var log AuditLog
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSandbox(fmt.Sprintf("part-%d", g), &log)
+			for i := 0; i < each; i++ {
+				s.Require(allCapabilities[i%len(allCapabilities)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(log.Entries()); got != goroutines*each {
+		t.Errorf("audit log has %d entries, want %d", got, goroutines*each)
+	}
+}

@@ -122,10 +122,14 @@ func NewSandbox(principal string, audit *AuditLog) *Sandbox {
 }
 
 // Grant relaxes the sandbox — "the user can choose to relax security
-// requirements".
+// requirements". Granting on a zero-value Sandbox (which denies
+// everything) lazily creates the capability set.
 func (s *Sandbox) Grant(c Capability) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.allowed == nil {
+		s.allowed = make(map[Capability]bool)
+	}
 	s.allowed[c] = true
 }
 

@@ -40,6 +40,8 @@ func (a *tokenArena) reserve(n int) {
 }
 
 // acquire returns a zeroed arena-owned token.
+//
+//gocad:noalloc
 func (a *tokenArena) acquire() *SignalToken {
 	if n := len(a.free); n > 0 {
 		t := a.free[n-1]
@@ -48,17 +50,7 @@ func (a *tokenArena) acquire() *SignalToken {
 		return t
 	}
 	if a.next == len(a.slab) {
-		size := len(a.slab) * 2
-		switch {
-		case size < arenaMinSlab:
-			size = arenaMinSlab
-		case size > arenaMaxSlab:
-			size = arenaMaxSlab
-		}
-		// The retired slab is not retained: its tokens live on through the
-		// free list for as long as they circulate.
-		a.slab = make([]SignalToken, size)
-		a.next = 0
+		a.grow()
 	}
 	t := &a.slab[a.next]
 	a.next++
@@ -66,8 +58,30 @@ func (a *tokenArena) acquire() *SignalToken {
 	return t
 }
 
+// grow replaces an exhausted slab with a doubled one (bounded by
+// arenaMinSlab/arenaMaxSlab). Outlined from acquire and kept out of the
+// inliner so the slab allocation stays attributed here, off acquire's
+// //gocad:noalloc steady-state path.
+//
+//go:noinline
+func (a *tokenArena) grow() {
+	size := len(a.slab) * 2
+	switch {
+	case size < arenaMinSlab:
+		size = arenaMinSlab
+	case size > arenaMaxSlab:
+		size = arenaMaxSlab
+	}
+	// The retired slab is not retained: its tokens live on through the
+	// free list for as long as they circulate.
+	a.slab = make([]SignalToken, size)
+	a.next = 0
+}
+
 // release zeroes a token and returns it to the free list. The caller
 // must not touch the token afterwards — it will be handed out again.
+//
+//gocad:noalloc
 func (a *tokenArena) release(t *SignalToken) {
 	*t = SignalToken{arenaOwned: true}
 	a.free = append(a.free, t)

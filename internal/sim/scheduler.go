@@ -302,6 +302,8 @@ func (c *Context) PostSignal(t *SignalToken) { c.sched.Post(t) }
 // retain the token past HandleToken (the delivering scheduler releases
 // it back to its arena), and the poster must not re-post a token it has
 // already posted.
+//
+//gocad:noalloc
 func (c *Context) AcquireSignal(t Time, dst Handler, port int, v signal.Value, src string) *SignalToken {
 	tok := c.sched.arena.acquire()
 	tok.T, tok.Dst, tok.Port, tok.Value, tok.Src = t, dst, port, v, src
@@ -366,6 +368,14 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 	if limit == 0 {
 		limit = DefaultEventLimit
 	}
+	return s.drain(ctx, opts, limit)
+}
+
+// drain is Run's batched instant loop (DESIGN.md §12), split from Run so
+// the context fallback's allocation stays out of the annotated body.
+//
+//gocad:noalloc
+func (s *Scheduler) drain(ctx *Context, opts RunOptions, limit uint64) error {
 	budget := limit
 	instants := 0
 	for len(s.queue) > 0 {
@@ -386,7 +396,7 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 		// against tokens that are already committed for delivery.
 		for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
 			if budget == 0 {
-				return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
+				return eventLimitError(limit, s.now)
 			}
 			first := s.queue.popMin()
 			if len(s.queue) == 0 || s.queue[0].tok.When() != s.now {
@@ -404,7 +414,7 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 			for i := range s.scratch {
 				if budget == 0 {
 					s.scratch = clearScratch(s.scratch)
-					return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, s.now)
+					return eventLimitError(limit, s.now)
 				}
 				budget--
 				tok := s.scratch[i].tok
@@ -426,8 +436,19 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 	return nil
 }
 
+// eventLimitError builds the runaway-simulation error. Outlined behind
+// //go:noinline so its fmt boxing stays off drain's //gocad:noalloc
+// steady-state path.
+//
+//go:noinline
+func eventLimitError(limit uint64, now Time) error {
+	return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, now)
+}
+
 // clearScratch zeroes the batch buffer so abandoned entries do not pin
 // tokens, returning the empty slice for reuse.
+//
+//gocad:noalloc
 func clearScratch(scratch []scheduledToken) []scheduledToken {
 	for i := range scratch {
 		scratch[i] = scheduledToken{}

@@ -28,6 +28,8 @@ import (
 var ErrTruncated = errors.New("wire: truncated input")
 
 // AppendUvarint appends v in unsigned varint encoding.
+//
+//gocad:noalloc
 func AppendUvarint(b []byte, v uint64) []byte {
 	return binary.AppendUvarint(b, v)
 }
@@ -45,6 +47,8 @@ func Uvarint(b []byte) (uint64, []byte, error) {
 }
 
 // AppendBytes appends a length-prefixed byte section.
+//
+//gocad:noalloc
 func AppendBytes(b, p []byte) []byte {
 	b = AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
@@ -65,6 +69,8 @@ func Bytes(b []byte) (sec, rest []byte, err error) {
 }
 
 // AppendString appends a length-prefixed string section.
+//
+//gocad:noalloc
 func AppendString(b []byte, s string) []byte {
 	b = AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
@@ -81,6 +87,8 @@ func String(b []byte) (string, []byte, error) {
 }
 
 // AppendFloat64 appends the IEEE-754 bits of f, little-endian.
+//
+//gocad:noalloc
 func AppendFloat64(b []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 }
@@ -94,6 +102,8 @@ func Float64(b []byte) (float64, []byte, error) {
 }
 
 // AppendFloat64s appends a length-prefixed float64 vector.
+//
+//gocad:noalloc
 func AppendFloat64s(b []byte, fs []float64) []byte {
 	b = AppendUvarint(b, uint64(len(fs)))
 	for _, f := range fs {
@@ -123,6 +133,8 @@ func Float64s(b []byte) ([]float64, []byte, error) {
 }
 
 // AppendStrings appends a length-prefixed vector of strings.
+//
+//gocad:noalloc
 func AppendStrings(b []byte, ss []string) []byte {
 	b = AppendUvarint(b, uint64(len(ss)))
 	for _, s := range ss {
@@ -159,6 +171,8 @@ func Strings(b []byte) ([]string, []byte, error) {
 // two bits per signal. The count prefix carries the exact length.
 
 // AppendBits appends a length-prefixed packed bit vector.
+//
+//gocad:noalloc
 func AppendBits(b []byte, bits []signal.Bit) []byte {
 	b = AppendUvarint(b, uint64(len(bits)))
 	var acc byte
@@ -196,6 +210,8 @@ func Bits(b []byte) ([]signal.Bit, []byte, error) {
 }
 
 // AppendPatterns appends a length-prefixed batch of bit patterns.
+//
+//gocad:noalloc
 func AppendPatterns(b []byte, ps [][]signal.Bit) []byte {
 	b = AppendUvarint(b, uint64(len(ps)))
 	for _, p := range ps {
@@ -227,6 +243,8 @@ func Patterns(b []byte) ([][]signal.Bit, []byte, error) {
 }
 
 // AppendWord appends a signal word as a packed bit vector.
+//
+//gocad:noalloc
 func AppendWord(b []byte, w signal.Word) []byte {
 	return AppendBits(b, w.Bits)
 }
@@ -241,6 +259,8 @@ func Word(b []byte) (signal.Word, []byte, error) {
 }
 
 // AppendVarint appends v in zigzag signed varint encoding.
+//
+//gocad:noalloc
 func AppendVarint(b []byte, v int64) []byte {
 	return binary.AppendVarint(b, v)
 }
@@ -258,6 +278,8 @@ func Varint(b []byte) (int64, []byte, error) {
 }
 
 // AppendBool appends a bool as one byte (0 or 1).
+//
+//gocad:noalloc
 func AppendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)
