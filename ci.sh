@@ -39,6 +39,7 @@ go test -run='^$' -fuzz='^FuzzBinaryDecode$' -fuzztime="${FUZZTIME}" ./internal/
 go test -run='^$' -fuzz='^FuzzMuxResponses$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzMuxFaultyConn$' -fuzztime="${FUZZTIME}" ./internal/rmi/
 go test -run='^$' -fuzz='^FuzzPartitionCircuit$' -fuzztime="${FUZZTIME}" ./internal/shard/
+go test -run='^$' -fuzz='^FuzzQueueOrdering$' -fuzztime="${FUZZTIME}" ./internal/sim/
 
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
@@ -50,6 +51,23 @@ echo "==> benchdiff advisory (non-blocking)"
 set -- $(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
 if [ "$#" -eq 2 ]; then
 	go run ./cmd/benchdiff "$1" "$2" || echo "benchdiff: regressions reported above (non-blocking)"
+
+	echo "==> kernel benchmark gate (blocking; SKIP_KERNEL_BENCH_GATE=1 to bypass)"
+	# The event-kernel benchmarks (scheduler throughput, arena token
+	# delivery) are single-threaded, allocation-free hot loops with low
+	# run-to-run noise, so for them the benchdiff is a hard gate, not an
+	# advisory. benchdiff has no name filter; grep the snapshot lines for
+	# the kernel benchmarks instead (benchdiff skips non-matching lines).
+	# Set SKIP_KERNEL_BENCH_GATE=1 to bypass on a known-noisy machine.
+	if [ "${SKIP_KERNEL_BENCH_GATE:-0}" = "1" ]; then
+		echo "kernel benchmark gate skipped (SKIP_KERNEL_BENCH_GATE=1)"
+	else
+		kold=$(mktemp) && knew=$(mktemp)
+		trap 'rm -f "$kold" "$knew"' EXIT
+		grep -E 'Benchmark(SchedulerThroughput|ArenaTokenDelivery)' "$1" > "$kold" || true
+		grep -E 'Benchmark(SchedulerThroughput|ArenaTokenDelivery)' "$2" > "$knew" || true
+		go run ./cmd/benchdiff "$kold" "$knew"
+	fi
 else
 	echo "fewer than two BENCH_*.json snapshots; skipping benchdiff"
 fi

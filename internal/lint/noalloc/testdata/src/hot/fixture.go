@@ -43,3 +43,57 @@ func grow(b []byte) []byte {
 	copy(nb, b)
 	return nb
 }
+
+// The struct-of-arrays cases mirror the event kernel's calendar
+// buckets: parallel lanes at full length with a count field, written by
+// index. Indexed lane writes into caller-owned storage are
+// allocation-free; boxing a lane value into an interface is not.
+
+type lanes struct {
+	n    int
+	seqs []uint64
+	vals []any
+}
+
+// LaneWriteClean fills pre-sized lanes by index and bumps the count —
+// the calendar enqueue shape. No heap traffic.
+//
+//gocad:noalloc
+func LaneWriteClean(b *lanes, seq uint64, v any) {
+	i := b.n
+	b.seqs[i] = seq
+	b.vals[i] = v
+	b.n = i + 1
+}
+
+// LaneWriteBoxed boxes a scalar into an interface lane per call — the
+// regression the typed lanes exist to prevent.
+//
+//gocad:noalloc
+func LaneWriteBoxed(b *lanes, seq uint64) {
+	i := b.n
+	b.seqs[i] = seq
+	b.vals[i] = seq // want `//gocad:noalloc function LaneWriteBoxed allocates`
+	b.n = i + 1
+}
+
+// LaneGrowOutlined keeps the lane-doubling slow path behind a
+// //go:noinline helper, the same shape as the kernel's growBucketLanes.
+//
+//gocad:noalloc
+func LaneGrowOutlined(b *lanes, seq uint64, v any) {
+	if b.n == len(b.seqs) {
+		growLanes(b)
+	}
+	LaneWriteClean(b, seq, v)
+}
+
+//go:noinline
+func growLanes(b *lanes) {
+	c := 2*len(b.seqs) + 8
+	seqs := make([]uint64, c)
+	copy(seqs, b.seqs)
+	vals := make([]any, c)
+	copy(vals, b.vals)
+	b.seqs, b.vals = seqs, vals
+}

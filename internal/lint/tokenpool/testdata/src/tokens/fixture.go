@@ -97,3 +97,26 @@ func arenaReacquireOK(ctx *sim.Context) {
 	tok = ctx.AcquireSignal(2, sink{}, 0, signal.BitValue{B: signal.B0}, "src")
 	ctx.Post(tok)
 }
+
+// Retention-by-index: since the calendar kernel copies token fields
+// into struct-of-arrays lanes at Post and releases the carrier, any
+// code that parks the carrier itself in a container is holding a token
+// the scheduler will recycle under it.
+
+func escapeSliceIndex(s *sim.Scheduler, held []*sim.SignalToken) {
+	tok := sim.AcquireSignalToken(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	held[0] = tok // want "stored in a field or container element"
+	s.Post(tok)
+}
+
+func arenaEscapeSliceIndex(ctx *sim.Context, held []*sim.SignalToken) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	held[0] = tok // want "stored in a field or container element"
+	ctx.Post(tok)
+}
+
+func arenaEscapeMapStore(ctx *sim.Context, held map[int]*sim.SignalToken) {
+	tok := ctx.AcquireSignal(1, sink{}, 0, signal.BitValue{B: signal.B1}, "src")
+	held[0] = tok // want "stored in a field or container element"
+	ctx.Post(tok)
+}

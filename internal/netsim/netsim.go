@@ -16,6 +16,7 @@ package netsim
 import (
 	"math/rand"
 	mrand "math/rand/v2"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -91,6 +92,35 @@ func (p Profile) EmulatedRoundTrip(sent, recvd int, jr *mrand.Rand) time.Duratio
 		d += time.Duration(jr.Int64N(int64(p.Jitter)))
 	}
 	return d
+}
+
+// sleepSlack is how early Wait hands off from time.Sleep to its
+// yield-spin tail. The Go runtime's timer granularity rounds short
+// sleeps up to roughly a millisecond on common kernels, so any sleep at
+// or below the slack would overshoot by an order of magnitude; the
+// slack must cover that rounding.
+const sleepSlack = 1200 * time.Microsecond
+
+// Wait blocks for the given emulated delay with sub-millisecond
+// accuracy. time.Sleep alone cannot emulate the Local profile: its
+// ~100µs round trips get rounded up to the runtime's timer granularity
+// (~1.1ms observed), inflating an emulated-local scenario by 10× per
+// call. Wait sleeps for all but the last sleepSlack of the delay —
+// keeping long LAN/WAN delays off-CPU — then yields the processor in a
+// loop until the deadline, bounding the busy tail to ~sleepSlack per
+// call. Deadline-based timing keeps the total accurate even when the
+// coarse sleep overshoots.
+func Wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > sleepSlack {
+		time.Sleep(d - sleepSlack)
+	}
+	for time.Until(deadline) > 0 {
+		runtime.Gosched()
+	}
 }
 
 // Meter accumulates a client's network accounting: how long it sat

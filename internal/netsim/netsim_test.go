@@ -155,3 +155,40 @@ func TestMeterConcurrentSafe(t *testing.T) {
 		t.Errorf("concurrent accounting lost updates: %d calls, %v", m.Calls(), m.Blocked())
 	}
 }
+
+func TestWaitAccuracy(t *testing.T) {
+	// Wait exists because time.Sleep rounds sub-millisecond delays up to
+	// the runtime's timer granularity (~1.1ms observed), an order of
+	// magnitude too coarse for the Local profile's ~110µs round trips.
+	// Wait must never return early, and for delays well under the
+	// granularity it must stay close to the target: the upper bound is
+	// loose (scheduler preemption on a loaded CI box) but far below the
+	// ~1.1ms a bare time.Sleep would cost.
+	for _, d := range []time.Duration{50 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond} {
+		// Take the best of a few runs so a single preemption cannot
+		// flake the upper bound; the lower bound must hold on EVERY run.
+		best := time.Duration(1 << 62)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			Wait(d)
+			got := time.Since(start)
+			if got < d {
+				t.Fatalf("Wait(%v) returned after %v — early return", d, got)
+			}
+			if got < best {
+				best = got
+			}
+		}
+		if limit := d + 5*time.Millisecond; best > limit {
+			t.Errorf("Wait(%v) best of 5 took %v, want < %v", d, best, limit)
+		}
+	}
+
+	// Zero and negative delays return immediately.
+	start := time.Now()
+	Wait(0)
+	Wait(-time.Millisecond)
+	if got := time.Since(start); got > time.Millisecond {
+		t.Errorf("Wait(<=0) took %v, want immediate return", got)
+	}
+}

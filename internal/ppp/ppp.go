@@ -12,6 +12,7 @@ package ppp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/gate"
 	"repro/internal/signal"
@@ -331,8 +332,30 @@ func (t *TimingSimulator) Step(inputs []signal.Bit) (float64, error) {
 	return worst, nil
 }
 
-// topoOrder returns gate indices in topological order.
+// topoCache memoizes topological orders by netlist pointer identity.
+// The provider hands out one canonical, pre-built netlist per bind
+// shape, so every timing simulator and critical-path query over a shape
+// shares one order; the returned slice is read-only by contract. The
+// cache is bounded by the number of distinct netlists analyzed in the
+// process.
+var topoCache sync.Map // *gate.Netlist → []int
+
+// topoOrder returns gate indices in topological order, memoized per
+// netlist (see topoCache).
 func topoOrder(nl *gate.Netlist) ([]int, error) {
+	if v, ok := topoCache.Load(nl); ok {
+		return v.([]int), nil
+	}
+	order, err := computeTopoOrder(nl)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := topoCache.LoadOrStore(nl, order)
+	return v.([]int), nil
+}
+
+// computeTopoOrder is the uncached Kahn walk behind topoOrder.
+func computeTopoOrder(nl *gate.Netlist) ([]int, error) {
 	gates := nl.Gates()
 	driver := make(map[gate.NetID]int, len(gates))
 	for gi, g := range gates {

@@ -2,11 +2,47 @@ package provider
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/estim"
 	"repro/internal/gate"
 	"repro/internal/iplib"
 )
+
+// canonicalNetlists memoizes the catalogue components' gate-level
+// implementations per (component, width), process-wide. Netlist
+// construction for the array multiplier plus levelization is a large
+// slice of cold bind cost, and short-lived providers (one per scenario
+// run, one per benchmark iteration) never warm a per-Provider cache —
+// so the catalogue itself hands out one canonical, pre-built netlist
+// per shape. Every consumer treats built netlists as read-only, and
+// sharing by pointer identity is what lets the provider's testability
+// cache and ppp's topological-order memo key by *gate.Netlist.
+var canonicalNetlists sync.Map // catalogShape → *gate.Netlist
+
+// catalogShape identifies one canonical catalogue netlist.
+type catalogShape struct {
+	component string
+	width     int
+}
+
+// canonicalNetlist returns the memoized netlist for a catalogue shape,
+// building and pre-levelizing it on first use. Build is completed
+// before the netlist is published because Netlist.Build memoizes into
+// the netlist and must not race; LoadOrStore keeps the first insert so
+// concurrent first binds converge on one instance.
+func canonicalNetlist(component string, width int, build func() *gate.Netlist) (*gate.Netlist, error) {
+	key := catalogShape{component: component, width: width}
+	if v, ok := canonicalNetlists.Load(key); ok {
+		return v.(*gate.Netlist), nil
+	}
+	nl := build()
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	v, _ := canonicalNetlists.LoadOrStore(key, nl)
+	return v.(*gate.Netlist), nil
+}
 
 // MultFastLowPower returns the paper's example IP component: the
 // high-performance, low-power multiplier sold by provider 1, with the
@@ -34,7 +70,9 @@ func MultFastLowPower() *Component {
 			if width < 2 {
 				return nil, fmt.Errorf("provider: multiplier width %d too small", width)
 			}
-			return gate.ArrayMultiplier(width), nil
+			return canonicalNetlist("MultFastLowPower", width, func() *gate.Netlist {
+				return gate.ArrayMultiplier(width)
+			})
 		},
 		PowerFeeCents:   0.1,
 		EvalFeeCents:    0.01,
@@ -59,7 +97,7 @@ func HalfAdderIP1() *Component {
 			LicenseCents:  5,
 		},
 		Build: func(width int) (*gate.Netlist, error) {
-			return gate.HalfAdderIP(), nil
+			return canonicalNetlist("IP1-HalfAdder", width, gate.HalfAdderIP)
 		},
 		EvalFeeCents:    0.01,
 		TableFeeCents:   0.2,

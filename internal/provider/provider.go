@@ -68,20 +68,40 @@ type Provider struct {
 
 	mu         sync.Mutex
 	components map[string]*Component
-	// testCache memoizes the testability service per (component, width,
-	// naming): the symbolic fault list and the detection tables depend
-	// only on the netlist, which Component.Build derives deterministically
-	// from the width, so every Bind of the same shape can share one
-	// service (and its pattern-keyed detection-table cache).
-	// LocalTestability is internally synchronized.
-	testCache map[testKey]*fault.LocalTestability
+	// nlCache is the provider's bind-shape cache: the canonical gate-level
+	// netlist per (component, width). Component.Build derives the netlist
+	// deterministically from the width and every consumer — evaluators,
+	// power/timing simulators, testability, ATPG — treats a built netlist
+	// as read-only, so all sessions binding the same shape share one
+	// instance. Netlists are pre-levelized (Netlist.Build) before they are
+	// published, which also makes the shape's fault-path and topological
+	// analyses cacheable by netlist pointer identity (testabilityCache
+	// here, topoOrder's memo in internal/ppp).
+	nlCache map[shapeKey]*gate.Netlist
 }
+
+// shapeKey identifies one bind shape.
+type shapeKey struct {
+	component string
+	width     int
+}
+
+// testabilityCache memoizes testability services process-wide, keyed by
+// the canonical netlist's pointer identity plus the fault naming scheme.
+// Fault collapsing and symbolic naming walk every net of the netlist
+// (the ~2k-allocation fault-path construction this cache amortizes), so
+// the service builds once per shape and is shared across sessions,
+// connects, and providers; its pattern-keyed detection-table cache is
+// shared along with it. LocalTestability is internally synchronized.
+// Pointer keying is sound because nlCache and the catalogue's canonical
+// netlists hand out one stable *gate.Netlist per shape; the cache is
+// bounded by the number of distinct shapes built in the process.
+var testabilityCache sync.Map // testKey → *fault.LocalTestability
 
 // testKey identifies one shared testability service.
 type testKey struct {
-	component string
-	width     int
-	naming    fault.Naming
+	nl     *gate.Netlist
+	naming fault.Naming
 }
 
 // DefaultSessionWorkers is the per-session dispatch concurrency a fresh
@@ -261,7 +281,7 @@ func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 		return nil, fmt.Errorf("provider: %s: width %d outside [%d, %d]",
 			req.Component, req.Width, comp.Spec.MinWidth, comp.Spec.MaxWidth)
 	}
-	nl, err := comp.Build(req.Width)
+	nl, err := p.netlistFor(comp, req.Component, req.Width)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +303,7 @@ func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 	}
 	inst := &instance{comp: comp, width: req.Width, nl: nl, ev: ev, power: power, timing: timing, lib: lib}
 	if comp.Spec.Testability {
-		test, err := p.testabilityFor(req.Component, req.Width, nl)
+		test, err := p.testabilityFor(nl)
 		if err != nil {
 			return nil, err
 		}
@@ -307,35 +327,54 @@ func (p *Provider) handleBind(sess *rmi.Session, payload []byte) (any, error) {
 	return iplib.BindResp{Instance: id, LicenseCents: comp.Spec.LicenseCents, Enabled: enabled}, nil
 }
 
-// testabilityFor returns the shared testability service for one
-// component shape, building it on first use. Fault collapsing and
-// symbolic naming walk every net of the netlist, so rebuilding the
-// service on every Bind dominated bind cost; the memoized service also
-// shares its detection-table cache across all sessions binding the
-// same shape. Concurrent first binds may build twice; the first insert
-// wins so later binds converge on one instance.
-func (p *Provider) testabilityFor(component string, width int, nl *gate.Netlist) (*fault.LocalTestability, error) {
-	key := testKey{component: component, width: width, naming: p.FaultNaming}
+// netlistFor returns the canonical netlist for one bind shape, building
+// and pre-levelizing it on first use. Pre-levelizing under no lock but
+// before publication matters: Netlist.Build memoizes into the netlist
+// itself and is not safe to race, so the cache only ever hands out
+// netlists that are already read-only. Concurrent first binds may build
+// twice; the first insert wins so later binds converge on one instance.
+func (p *Provider) netlistFor(comp *Component, component string, width int) (*gate.Netlist, error) {
+	key := shapeKey{component: component, width: width}
 	p.mu.Lock()
-	if t, ok := p.testCache[key]; ok {
+	if nl, ok := p.nlCache[key]; ok {
 		p.mu.Unlock()
-		return t, nil
+		return nl, nil
 	}
 	p.mu.Unlock()
-	test, err := fault.NewLocalTestability(nl, p.FaultNaming, true)
+	nl, err := comp.Build(width)
 	if err != nil {
+		return nil, err
+	}
+	if err := nl.Build(); err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if t, ok := p.testCache[key]; ok {
-		return t, nil
+	if cached, ok := p.nlCache[key]; ok {
+		return cached, nil
 	}
-	if p.testCache == nil {
-		p.testCache = make(map[testKey]*fault.LocalTestability)
+	if p.nlCache == nil {
+		p.nlCache = make(map[shapeKey]*gate.Netlist)
 	}
-	p.testCache[key] = test
-	return test, nil
+	p.nlCache[key] = nl
+	return nl, nil
+}
+
+// testabilityFor returns the shared testability service for one
+// canonical netlist, building it on first use (see testabilityCache).
+// Concurrent first binds may build twice; LoadOrStore keeps the first
+// insert so later binds converge on one instance.
+func (p *Provider) testabilityFor(nl *gate.Netlist) (*fault.LocalTestability, error) {
+	key := testKey{nl: nl, naming: p.FaultNaming}
+	if t, ok := testabilityCache.Load(key); ok {
+		return t.(*fault.LocalTestability), nil
+	}
+	test, err := fault.NewLocalTestability(nl, p.FaultNaming, true)
+	if err != nil {
+		return nil, err
+	}
+	t, _ := testabilityCache.LoadOrStore(key, test)
+	return t.(*fault.LocalTestability), nil
 }
 
 // nextInstanceID allocates a session-unique instance handle.

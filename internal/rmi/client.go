@@ -464,9 +464,12 @@ func (c *Client) exchange(method string, args PortData, payload []byte, reply an
 	}
 	// The slot is held through the emulated delay: at depth 1 queued
 	// calls wait out the full round trip behind this one (the serialized
-	// RMI link of the paper), at depth N the sleeps overlap.
+	// RMI link of the paper), at depth N the sleeps overlap. netsim.Wait
+	// rather than time.Sleep: the runtime rounds sub-millisecond sleeps
+	// up to its timer granularity, which would inflate the Local
+	// profile's ~100µs round trips by 10×.
 	if delay := c.emulatedDelay(sent, recvd); delay > 0 {
-		time.Sleep(delay)
+		netsim.Wait(delay)
 	}
 	return sent, recvd, nil
 }

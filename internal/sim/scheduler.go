@@ -30,10 +30,12 @@ type scheduledToken struct {
 }
 
 // tokenQueue is a binary min-heap ordered by (time, seq), with inlined
-// index-based sift operations. The container/heap interface funnels every
-// element through `any` on Push/Pop, which boxes the scheduledToken — one
-// heap allocation per posted token on the kernel's hottest path; the
-// direct sift-up/sift-down below keeps the element a plain struct.
+// index-based sift operations — the event store's spill lane, carrying
+// generic tokens and far-future signal tokens (calendar.go). The
+// container/heap interface funnels every element through `any` on
+// Push/Pop, which boxes the scheduledToken — one heap allocation per
+// posted token; the direct sift-up/sift-down below keeps the element a
+// plain struct.
 type tokenQueue []scheduledToken
 
 func (q tokenQueue) less(i, j int) bool {
@@ -100,15 +102,52 @@ func (q *tokenQueue) popMin() scheduledToken {
 // module "at the end of each simulation time instant".
 type InstantHook func(ctx *Context, completed Time)
 
-// Scheduler owns one event queue and delivers tokens in nondecreasing
+// Scheduler owns one event store and delivers tokens in nondecreasing
 // time order. A Scheduler is confined to a single goroutine; concurrency
 // comes from running several Schedulers, never from sharing one.
+//
+// The store has two lanes (calendar.go): a 64-instant calendar of
+// struct-of-arrays buckets for near-future signal tokens, and the spill
+// min-heap for everything else. Both lanes order by the same (time, seq)
+// key, so delivery order — and with it every fingerprint — is identical
+// to the heap-only kernel's.
 type Scheduler struct {
 	id      SchedulerID
-	queue   tokenQueue
 	seq     uint64
 	now     Time
 	started bool
+
+	// sig is the calendar: bucket i holds the signal tokens of the unique
+	// time t in [now, now+sigWindow) with t%64 == i, decomposed into flat
+	// lanes. sigMask has bit i set iff bucket i is occupied.
+	sig     [sigBuckets]sigBucket
+	sigMask uint64
+
+	// slab backs first-touch bucket lanes (growBucketLanes), amortizing
+	// lane setup to five allocations per laneSlabBuckets first touches
+	// instead of five per bucket.
+	slab laneSlab
+
+	// spill holds generic tokens (Self/Estimation/Control) and signal
+	// tokens scheduled beyond the calendar window, ordered by (time, seq).
+	spill tokenQueue
+
+	// pending counts undelivered tokens across both lanes.
+	pending int
+
+	// interned assigns each destination handler a dense index so signal
+	// lanes store 4-byte indices instead of interface headers. The
+	// one-entry internLast cache keeps repeat posts off the map.
+	interned      []Handler
+	internIdx     map[Handler]uint32
+	internLastH   Handler
+	internLastIdx uint32
+
+	// popScratch is the delivery carrier for calendar-stored signal
+	// tokens: popBucket materializes lane entries into it, deliver hands
+	// it to the handler, and the next pop overwrites it. It is neither
+	// pooled nor arena-owned, so deliver's release path leaves it alone.
+	popScratch SignalToken
 
 	// overrides replaces the event handling of specific handlers for this
 	// scheduler only. Virtual fault simulation uses this to make a faulty
@@ -127,9 +166,6 @@ type Scheduler struct {
 	// arena slab-allocates this scheduler's signal tokens
 	// (Context.AcquireSignal); sized up front by ReserveTokens.
 	arena tokenArena
-
-	// scratch is the reusable batch buffer of Run's instant drain.
-	scratch []scheduledToken
 
 	// Stats
 	delivered uint64
@@ -192,10 +228,7 @@ func (s *Scheduler) Post(tok Token) {
 		return
 	}
 	s.seq++
-	s.queue.push(scheduledToken{tok: tok, seq: s.seq})
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
-	}
+	s.enqueue(tok, s.seq)
 }
 
 // SetPostIntercept installs (or, with nil, removes) the scheduler's post
@@ -214,32 +247,57 @@ func (s *Scheduler) PostSequenced(tok Token, seq uint64) {
 	if tok.When() < s.now {
 		panic(fmt.Sprintf("sim: token scheduled at %d, before current time %d", tok.When(), s.now))
 	}
-	s.queue.push(scheduledToken{tok: tok, seq: seq})
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
-	}
+	s.enqueue(tok, seq)
 }
 
 // NextEventTime returns the time of the earliest pending token, or
-// ok=false when the queue is empty — the lower-bound timestamp a
-// conservative synchronization window is computed from.
+// ok=false when the store is empty — the lower-bound timestamp a
+// conservative synchronization window is computed from. The earliest
+// time is the minimum of the calendar's occupancy scan and the spill
+// heap's root.
+//
+//gocad:noalloc
 func (s *Scheduler) NextEventTime() (Time, bool) {
-	if len(s.queue) == 0 {
-		return 0, false
+	ct, cok := s.sigMinTime()
+	if len(s.spill) == 0 {
+		return ct, cok
 	}
-	return s.queue[0].tok.When(), true
+	ht := s.spill[0].tok.When()
+	if !cok || ht < ct {
+		return ht, true
+	}
+	return ct, true
 }
 
 // PopDue removes and returns the earliest pending token together with
 // its sequence stamp, provided it is scheduled exactly at t; ok=false
-// when the queue is empty or the head is later. Combined with Deliver
+// when the store is empty or the head is later. Combined with Deliver
 // this is the bounded-step API: an external coordinator drains one
 // instant of one scheduler without ceding control of global time.
+//
+// When both lanes hold tokens due at t, the lower sequence stamp wins —
+// the merge that keeps two-lane delivery order identical to the single
+// heap's (time, seq) order.
+//
+//gocad:noalloc
 func (s *Scheduler) PopDue(t Time) (Token, uint64, bool) {
-	if len(s.queue) == 0 || s.queue[0].tok.When() != t {
+	b := s.bucketFor(t)
+	bucketDue := b.head < b.n && b.time == t
+	spillDue := len(s.spill) > 0 && s.spill[0].tok.When() == t
+	if bucketDue {
+		if b.unsorted {
+			sortBucket(b)
+		}
+		if !spillDue || b.seqs[b.head] < s.spill[0].seq {
+			tok, seq := s.popBucket(b)
+			return tok, seq, true
+		}
+	}
+	if !spillDue {
 		return nil, 0, false
 	}
-	it := s.queue.popMin()
+	it := s.spill.popMin()
+	s.pending--
 	return it.tok, it.seq, true
 }
 
@@ -266,8 +324,9 @@ func (s *Scheduler) AdvanceTo(t Time) {
 	s.now = t
 }
 
-// Pending returns the number of tokens waiting in the queue.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of tokens waiting across both lanes of the
+// event store (calendar buckets plus the spill heap).
+func (s *Scheduler) Pending() int { return s.pending }
 
 // Context gives a handler controlled access to the scheduler that is
 // delivering a token to it. A module can schedule a new token only when
@@ -318,8 +377,10 @@ func (c *Context) Scheduler() *Scheduler { return c.sched }
 func (s *Scheduler) deliver(ctx *Context, tok Token) {
 	s.delivered++
 	dst := tok.Target()
-	if repl, ok := s.overrides[dst]; ok {
-		dst = repl
+	if len(s.overrides) != 0 {
+		if repl, ok := s.overrides[dst]; ok {
+			dst = repl
+		}
 	}
 	if ctx.Trace != nil {
 		if str, ok := tok.(fmt.Stringer); ok {
@@ -335,16 +396,43 @@ func (s *Scheduler) deliver(ctx *Context, tok Token) {
 			// that migrated across a shard boundary, ownership moves with
 			// them, keeping every arena single-writer.
 			s.arena.release(st)
-		} else {
+		} else if st.pooled {
 			st.recycle()
 		}
 	}
 }
 
+// deliverScratch is deliver specialized for the calendar's materialized
+// carrier: popBucket has just filled s.popScratch, so the destination
+// is already in hand (no Target call) and no release applies (the
+// scratch token is neither pooled nor arena-owned).
+//
+//gocad:noalloc
+func (s *Scheduler) deliverScratch(ctx *Context) {
+	s.delivered++
+	dst := s.popScratch.Dst
+	if len(s.overrides) != 0 {
+		if repl, ok := s.overrides[dst]; ok {
+			dst = repl
+		}
+	}
+	if ctx.Trace != nil {
+		ctx.Trace(s.popScratch.String())
+	}
+	dst.HandleToken(ctx, &s.popScratch)
+}
+
 // ReserveTokens pre-sizes the scheduler's token arena so n signal tokens
 // can be live at once without a mid-run allocation. Controllers call it
 // before a run, sized from the circuit (ports, handlers, queue depth).
-func (s *Scheduler) ReserveTokens(n int) { s.arena.reserve(n) }
+// Calendar bucket lanes are NOT pre-carved here: most runs touch only a
+// handful of distinct instants, so eagerly sizing all 64 buckets
+// multiplied resident bytes (and with them GC pressure) for storage
+// that never held an event. First-touched buckets carve their lanes
+// from the scheduler's shared slab in growBucketLanes instead.
+func (s *Scheduler) ReserveTokens(n int) {
+	s.arena.reserve(n)
+}
 
 // RunOptions bounds a scheduler run.
 type RunOptions struct {
@@ -371,15 +459,21 @@ func (s *Scheduler) Run(ctx *Context, opts RunOptions) error {
 	return s.drain(ctx, opts, limit)
 }
 
-// drain is Run's batched instant loop (DESIGN.md §12), split from Run so
-// the context fallback's allocation stays out of the annotated body.
+// drain is Run's instant loop (DESIGN.md §12), split from Run so the
+// context fallback's allocation stays out of the annotated body. Each
+// outer pass advances the clock to the earliest pending instant, then
+// delivers tokens due at it — calendar bucket entries and spill-heap
+// tokens merged by sequence stamp — until the instant is dry. The old
+// kernel's batch scratch buffer is gone: calendar pops are O(1) lane
+// reads with no re-sift to amortize, so pop-one-deliver-one is already
+// the fast path.
 //
 //gocad:noalloc
 func (s *Scheduler) drain(ctx *Context, opts RunOptions, limit uint64) error {
 	budget := limit
 	instants := 0
-	for len(s.queue) > 0 {
-		next := s.queue[0].tok.When()
+	for s.pending > 0 {
+		next, _ := s.NextEventTime()
 		if opts.Until != 0 && next > opts.Until {
 			return nil
 		}
@@ -387,50 +481,42 @@ func (s *Scheduler) drain(ctx *Context, opts RunOptions, limit uint64) error {
 			s.started = true
 			s.now = next
 		}
-		// Drain the full instant in batches: pop every token currently due
-		// at this instant into the reusable scratch buffer, then deliver in
-		// (time, seq) order. Tokens a delivery posts back into this instant
-		// always carry higher sequence stamps than anything popped, so the
-		// next batch round delivers them after this one — the order is
-		// identical to pop-one-deliver-one, without re-sifting the heap
-		// against tokens that are already committed for delivery.
-		for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
+		// The bucket addressing s.now is stable for the whole instant, so
+		// the merged bucket-vs-spill pop is inlined here rather than
+		// calling hasDue+PopDue per token (PopDue stays the API for
+		// external coordinators; this is the same merge, fused).
+		b := s.bucketFor(s.now)
+		for {
+			bucketDue := b.head < b.n && b.time == s.now
+			if bucketDue && b.unsorted {
+				sortBucket(b)
+			}
+			spillDue := len(s.spill) > 0 && s.spill[0].tok.When() == s.now
+			if !bucketDue && !spillDue {
+				break
+			}
 			if budget == 0 {
 				return eventLimitError(limit, s.now)
 			}
-			first := s.queue.popMin()
-			if len(s.queue) == 0 || s.queue[0].tok.When() != s.now {
-				// Lone token at this instant — the common case for sparse
-				// traffic — delivers directly, skipping the batch buffer
-				// and its bookkeeping.
-				budget--
-				s.deliver(ctx, first.tok)
-				continue
-			}
-			s.scratch = append(s.scratch[:0], first)
-			for len(s.queue) > 0 && s.queue[0].tok.When() == s.now {
-				s.scratch = append(s.scratch, s.queue.popMin())
-			}
-			for i := range s.scratch {
-				if budget == 0 {
-					s.scratch = clearScratch(s.scratch)
-					return eventLimitError(limit, s.now)
-				}
-				budget--
-				tok := s.scratch[i].tok
-				s.scratch[i] = scheduledToken{} // release before delivery may recycle
-				s.deliver(ctx, tok)
+			budget--
+			if bucketDue && (!spillDue || b.seqs[b.head] < s.spill[0].seq) {
+				s.popBucket(b)
+				s.deliverScratch(ctx)
+			} else {
+				it := s.spill.popMin()
+				s.pending--
+				s.deliver(ctx, it.tok)
 			}
 		}
-		// The instant is complete only if nothing was rescheduled for it.
-		if len(s.queue) == 0 || s.queue[0].tok.When() > s.now {
-			for _, h := range s.hooks {
-				h(ctx, s.now)
-			}
-			instants++
-			if opts.MaxInstants != 0 && instants >= opts.MaxInstants {
-				return nil
-			}
+		// The loop above exits only when nothing remains at s.now — a
+		// delivery that reposted into this instant keeps it running — so
+		// the instant is complete and its hooks fire.
+		for _, h := range s.hooks {
+			h(ctx, s.now)
+		}
+		instants++
+		if opts.MaxInstants != 0 && instants >= opts.MaxInstants {
+			return nil
 		}
 	}
 	return nil
@@ -443,17 +529,6 @@ func (s *Scheduler) drain(ctx *Context, opts RunOptions, limit uint64) error {
 //go:noinline
 func eventLimitError(limit uint64, now Time) error {
 	return fmt.Errorf("%w (limit %d at time %d)", ErrEventLimit, limit, now)
-}
-
-// clearScratch zeroes the batch buffer so abandoned entries do not pin
-// tokens, returning the empty slice for reuse.
-//
-//gocad:noalloc
-func clearScratch(scratch []scheduledToken) []scheduledToken {
-	for i := range scratch {
-		scratch[i] = scheduledToken{}
-	}
-	return scratch[:0]
 }
 
 // NewContext returns a Context bound to this scheduler.
