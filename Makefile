@@ -10,7 +10,7 @@ BENCHDATE := $(shell date +%Y-%m-%d)
 # conditions the benchmarks measure.
 BENCH_GOFLAGS ?=
 
-.PHONY: all build test race fuzz vet lint vuln bench benchdiff smoke-bench profile chaos shards ci clean
+.PHONY: all build test race fuzz vet lint vuln bench benchdiff smoke-bench loadgen profile chaos shards ci clean
 
 all: build test
 
@@ -109,13 +109,23 @@ profile:
 bench:
 	GOFLAGS="$(BENCH_GOFLAGS)" $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . ./internal/sim/ | tee BENCH_$(BENCHDATE).json
 	@echo "benchmark snapshot written to BENCH_$(BENCHDATE).json"
+	$(GO) run ./cmd/gocad-loadgen -selftest
 
 # Quick CI smoke: the kernel and fault-simulation benchmarks only, one
 # short iteration each — catches crashes and gross regressions, not noise.
 smoke-bench:
 	$(GO) test -run='^$$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
 
-ci: build vet lint test race chaos shards fuzz smoke-bench vuln
+# Gateway load smoke: gocad-loadgen storms an in-process gateway at 4x
+# MaxSessions and asserts the admission-control contract end to end —
+# bit-identical fingerprints for admitted sessions, typed prompt
+# rejections for the rest, and /metrics + billing-ledger counters that
+# reconcile exactly with the client-side counts. Prints sessions/sec
+# and call latency percentiles (p50/p99/p999).
+loadgen:
+	$(GO) run ./cmd/gocad-loadgen -selftest
+
+ci: build vet lint test race chaos shards fuzz smoke-bench loadgen vuln
 
 clean:
 	$(GO) clean ./...

@@ -44,6 +44,9 @@ go test -run='^$' -fuzz='^FuzzQueueOrdering$' -fuzztime="${FUZZTIME}" ./internal
 echo "==> benchmark smoke"
 go test -run='^$' -bench='SchedulerThroughput|VirtualVsSerialFaultSim|Figure4VirtualFaultSim' -benchmem -benchtime=100x .
 
+echo "==> gateway load smoke (gocad-loadgen -selftest: 4x MaxSessions storm)"
+go run ./cmd/gocad-loadgen -selftest
+
 echo "==> benchdiff advisory (non-blocking)"
 # Compare the two most recent benchmark snapshots, if present. The diff
 # is advisory: benchmark machines are noisy, so a regression report asks

@@ -1,9 +1,7 @@
 package e2e
 
 import (
-	"bufio"
 	"bytes"
-	"io"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -21,11 +19,12 @@ func startServerProc(t *testing.T, serverBin string, extra ...string) (cmd *exec
 	keyfile = filepath.Join(t.TempDir(), "key.hex")
 	args := append([]string{"-addr", "127.0.0.1:0", "-keyfile", keyfile}, extra...)
 	cmd = exec.Command(serverBin, args...)
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	cmd.Stderr = cmd.Stdout
+	// Capture through an io.Writer rather than StdoutPipe: exec then
+	// finishes copying before Wait returns, so the shutdown transcript's
+	// final lines can't be lost to the Wait/scanner race.
+	log := &procLog{addr: make(chan string, 1)}
+	cmd.Stdout = log
+	cmd.Stderr = log
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -34,36 +33,44 @@ func startServerProc(t *testing.T, serverBin string, extra ...string) (cmd *exec
 		cmd.Wait()
 	})
 
-	var mu sync.Mutex
-	var buf bytes.Buffer
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			line := sc.Text()
-			mu.Lock()
-			buf.WriteString(line + "\n")
-			mu.Unlock()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				select {
-				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
-				default:
-				}
-			}
-		}
-		io.Copy(io.Discard, stdout)
-	}()
 	select {
-	case addr = <-addrCh:
+	case addr = <-log.addr:
 	case <-time.After(15 * time.Second):
 		t.Fatal("gocad-server did not report its listen address in time")
 	}
-	output = func() string {
-		mu.Lock()
-		defer mu.Unlock()
-		return buf.String()
+	return cmd, addr, keyfile, log.String
+}
+
+// procLog accumulates a child process's output and announces the
+// server's bound address the moment its "listening on" line lands.
+type procLog struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addr  chan string
+	found bool
+}
+
+func (l *procLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf.Write(p)
+	if !l.found {
+		text := l.buf.String()
+		if i := strings.Index(text, "listening on "); i >= 0 {
+			rest := text[i+len("listening on "):]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				l.found = true
+				l.addr <- strings.TrimSpace(rest[:nl])
+			}
+		}
 	}
-	return cmd, addr, keyfile, output
+	return len(p), nil
+}
+
+func (l *procLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.String()
 }
 
 // TestServerDrainsOnSIGTERM is the graceful-shutdown contract of a live

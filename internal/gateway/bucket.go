@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket over an injectable clock: rate tokens per
+// second refill up to burst, takers wait (they do not error) until
+// their tokens are available. Waiting rather than rejecting is the
+// right shape for per-tenant rate limits on a session protocol — a
+// throttled tenant's calls slow down to the contracted rate but stay
+// correct, while admission control (which does fast-fail) bounds how
+// many such sessions exist at all.
+//
+// An oversized request (n > burst) is allowed through once the bucket
+// is full and leaves it in debt, so sustained throughput still honors
+// the rate.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a bucket starting full. rate <= 0 disables it.
+func newBucket(rate, burst float64) *bucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// wait blocks until n tokens are available and takes them. now and
+// sleep are the clock seams (tests drive a fake clock; production
+// passes time.Now and time.Sleep).
+func (b *bucket) wait(n float64, now func() time.Time, sleep func(time.Duration)) {
+	if b == nil || b.rate <= 0 || n <= 0 {
+		return
+	}
+	for {
+		b.mu.Lock()
+		t := now()
+		if !b.last.IsZero() {
+			b.tokens += t.Sub(b.last).Seconds() * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+		b.last = t
+		// A request larger than the whole bucket proceeds from full and
+		// leaves debt; everything else waits for its exact tokens.
+		need := n
+		if need > b.burst {
+			need = b.burst
+		}
+		if b.tokens >= need {
+			b.tokens -= n
+			b.mu.Unlock()
+			return
+		}
+		shortfall := need - b.tokens
+		b.mu.Unlock()
+		d := time.Duration(shortfall / b.rate * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		sleep(d)
+	}
+}

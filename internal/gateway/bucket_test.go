@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rmi"
+)
+
+// fakeClock is a deterministic now/sleep pair: Sleep advances the
+// clock instead of blocking, so token-bucket behavior is exact.
+type fakeClock struct {
+	mu    sync.Mutex
+	t     time.Time
+	slept time.Duration
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.slept += d
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) sleptTotal() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}
+
+// TestBucketBurstThenThrottle: a full bucket serves its burst without
+// waiting, then each further token costs 1/rate seconds.
+func TestBucketBurstThenThrottle(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(10, 10) // 10 tokens/sec, burst 10
+	for i := 0; i < 10; i++ {
+		b.wait(1, clk.now, clk.sleep)
+	}
+	if got := clk.sleptTotal(); got != 0 {
+		t.Fatalf("burst of 10 slept %v, want 0", got)
+	}
+	b.wait(1, clk.now, clk.sleep)
+	if got := clk.sleptTotal(); got < 90*time.Millisecond || got > 110*time.Millisecond {
+		t.Fatalf("11th token slept %v, want ~100ms", got)
+	}
+}
+
+// TestBucketOversizedRequestDebt: a request larger than the whole
+// bucket proceeds once the bucket is full but leaves it in debt, so
+// sustained throughput still honors the contracted rate.
+func TestBucketOversizedRequestDebt(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(10, 10)
+	b.wait(25, clk.now, clk.sleep) // full bucket lets it through
+	if got := clk.sleptTotal(); got != 0 {
+		t.Fatalf("oversized request from full bucket slept %v, want 0", got)
+	}
+	before := clk.sleptTotal()
+	b.wait(1, clk.now, clk.sleep)
+	// Debt is 15 tokens + 1 requested = 16 tokens at 10/s.
+	if got := clk.sleptTotal() - before; got < 1500*time.Millisecond || got > 1700*time.Millisecond {
+		t.Fatalf("post-debt token slept %v, want ~1.6s", got)
+	}
+}
+
+// TestBucketDisabled: nil bucket and zero rate are both no-ops.
+func TestBucketDisabled(t *testing.T) {
+	clk := newFakeClock()
+	var b *bucket
+	b.wait(100, clk.now, clk.sleep)
+	newBucket(0, 0).wait(100, clk.now, clk.sleep)
+	if got := clk.sleptTotal(); got != 0 {
+		t.Fatalf("disabled buckets slept %v", got)
+	}
+}
+
+// TestBeforeCallThrottleAccounting: a rate-limited tenant's calls wait
+// in its buckets, and the time spent is booked to the meter's
+// Throttled counter — all under the fake clock, no real sleeping.
+func TestBeforeCallThrottleAccounting(t *testing.T) {
+	srv := rmi.NewServer("throttle-test")
+	g, err := New(srv, Config{MaxSessions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	clk := newFakeClock()
+	g.now, g.sleep = clk.now, clk.sleep
+	if err := g.AddTenant(TenantSpec{Name: "slow", Key: "00ff", CallsPerSec: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sess := &rmi.Session{Client: "slow", ID: "s1"}
+	for i := 0; i < 4; i++ { // burst 2, then 2 throttled at 0.5s each
+		if err := g.beforeCall(sess, "Eval", 10); err != nil {
+			t.Fatalf("beforeCall %d: %v", i, err)
+		}
+	}
+	m, _ := g.MeterFor("slow")
+	if m.Throttled < 900*time.Millisecond || m.Throttled > 1100*time.Millisecond {
+		t.Fatalf("Throttled = %v, want ~1s", m.Throttled)
+	}
+}
+
+// TestReasonRoundTrip: every refusal reason survives the trip through
+// error text, and foreign errors parse as ReasonNone.
+func TestReasonRoundTrip(t *testing.T) {
+	for _, r := range []Reason{ReasonOverCapacity, ReasonTenantConns, ReasonQueueFull, ReasonOverQuota, ReasonDraining} {
+		err := refusal(r, "details %d", 42)
+		if got := ReasonOf(err); got != r {
+			t.Errorf("ReasonOf(%v) = %q, want %q", err, got, r)
+		}
+		wrapped := &rmi.HandshakeError{Msg: err.Error()}
+		if got := ReasonOf(wrapped); got != r {
+			t.Errorf("ReasonOf(HandshakeError{%v}) = %q, want %q", err, got, r)
+		}
+	}
+	if got := ReasonOf(nil); got != ReasonNone {
+		t.Errorf("ReasonOf(nil) = %q", got)
+	}
+	if got := ReasonOf(errFake); got != ReasonNone {
+		t.Errorf("ReasonOf(plain error) = %q", got)
+	}
+}
+
+var errFake = &rmi.HandshakeError{Msg: "some unrelated refusal"}

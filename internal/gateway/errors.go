@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reason is the typed cause of a gateway refusal. Refusals cross the
+// wire as error text (the welcome frame's Err field for admission, a
+// remote call error for quotas), so each one embeds a stable
+// machine-readable marker — "gateway: [<reason>] ..." — that Reason
+// recovers on the client side with ReasonOf. A rejection is always
+// loud and typed: the dialer learns exactly why it was turned away,
+// within the handshake deadline, never via a silent hang.
+type Reason string
+
+// The refusal reasons the gateway distinguishes.
+const (
+	// ReasonNone: the error is not a gateway refusal.
+	ReasonNone Reason = ""
+	// ReasonOverCapacity: the server is at MaxSessions.
+	ReasonOverCapacity Reason = "over-capacity"
+	// ReasonTenantConns: the tenant is at its connection limit.
+	ReasonTenantConns Reason = "tenant-conns"
+	// ReasonQueueFull: the bounded accept queue overflowed; the
+	// connection was refused before any per-connection work.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonOverQuota: the tenant crossed its fee ceiling; further
+	// calls are refused until the quota is raised.
+	ReasonOverQuota Reason = "over-quota"
+	// ReasonDraining: the gateway is shutting down gracefully.
+	ReasonDraining Reason = "draining"
+)
+
+// reasonMarker frames the typed reason inside the wire error text.
+const reasonMarkerOpen = "gateway: ["
+
+// refusal builds a typed gateway error whose text survives the wire.
+func refusal(r Reason, format string, args ...any) error {
+	return fmt.Errorf("gateway: [%s] %s", r, fmt.Sprintf(format, args...))
+}
+
+// ReasonOf classifies an error (or any of its wrapping layers) as a
+// typed gateway refusal, returning ReasonNone for everything else. It
+// works on both sides of the wire: the server's own refusal values and
+// the client's reconstructed errors (rmi.HandshakeError for admission,
+// *rmi.RemoteError for per-call quota refusals) classify identically.
+func ReasonOf(err error) Reason {
+	if err == nil {
+		return ReasonNone
+	}
+	s := err.Error()
+	i := strings.Index(s, reasonMarkerOpen)
+	if i < 0 {
+		return ReasonNone
+	}
+	rest := s[i+len(reasonMarkerOpen):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		return ReasonNone
+	}
+	switch r := Reason(rest[:j]); r {
+	case ReasonOverCapacity, ReasonTenantConns, ReasonQueueFull, ReasonOverQuota, ReasonDraining:
+		return r
+	}
+	return ReasonNone
+}

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeMetrics starts the gateway's HTTP sidecar on addr and returns
+// the bound address. The sidecar exposes:
+//
+//	/healthz       liveness — 200 "ok" while serving, 503 "draining"
+//	               once a graceful drain begins (load balancers stop
+//	               routing before the listener actually closes)
+//	/metrics       Prometheus text exposition (see WriteMetrics)
+//	/debug/pprof/  the standard pprof handlers
+//
+// The sidecar shares the process but not the listener with the RPC
+// surface, so it stays scrapeable while the gateway drains; Drain and
+// Close shut it down last.
+func (g *Gateway) ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("gateway: closed")
+	}
+	g.httpSrv = srv
+	g.mu.Unlock()
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			g.logfSampled("gateway: metrics sidecar: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// shutdownHTTP stops the sidecar if one is running.
+func (g *Gateway) shutdownHTTP() {
+	g.mu.Lock()
+	srv := g.httpSrv
+	g.httpSrv = nil
+	g.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if g.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.WriteMetrics(w); err != nil {
+		g.logfSampled("gateway: metrics write: %v", err)
+	}
+}

@@ -10,6 +10,11 @@ import (
 	"os" // want `forbidden capability for downloaded-part code`
 	"time"
 
+	// The multi-tenant gateway is provider-operator machinery (admission
+	// control, billing, the network listener); downloaded-part code must
+	// never reach it.
+	_ "repro/internal/gateway" // want `may only depend on other sandboxed packages`
+
 	"repro/internal/security"
 )
 

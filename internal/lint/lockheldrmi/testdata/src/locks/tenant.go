@@ -1,0 +1,49 @@
+// The tenant-table shapes from the multi-tenant gateway: a mutex
+// guarding per-tenant accounting must never be held across an RMI
+// round trip — one slow tenant's wire stall would freeze admission for
+// every other tenant. Server-side sampling (rmi.Session methods) under
+// the same mutex stays sanctioned: it reads local state, not the wire.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/iplib"
+	"repro/internal/rmi"
+)
+
+type tenantTable struct {
+	mu       sync.Mutex
+	feeCents map[string]float64
+	probe    *iplib.IPClient
+}
+
+// reconcileUnderLock audits a tenant's fees by asking the provider over
+// the wire while the whole table is locked — the admission-freeze bug.
+func (tt *tenantTable) reconcileUnderLock(tenant string) (float64, error) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	remote, err := tt.probe.Fees() // want "while mutex tt.mu is held"
+	if err != nil {
+		return 0, err
+	}
+	return remote - tt.feeCents[tenant], nil
+}
+
+// settle samples the session server-side first (local state, no wire),
+// then locks only for the bookkeeping — the sanctioned shape.
+func (tt *tenantTable) settle(tenant string, sess *rmi.Session) {
+	fees := sess.Fees()
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	tt.feeCents[tenant] = fees
+}
+
+// chargeUnderLock touches only server-side session state inside the
+// critical section; rmi.Session is exempt.
+func (tt *tenantTable) chargeUnderLock(sess *rmi.Session, cents float64) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	sess.Charge(cents)
+	tt.feeCents[sess.Client] += cents
+}

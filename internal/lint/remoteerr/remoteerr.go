@@ -20,11 +20,15 @@ import (
 )
 
 // remotePackages are the error sources whose failures drive degradation.
+// The gateway belongs here for the same reason as the transport: a
+// discarded AddTenant or Drain error means a tenant silently not
+// registered or a shutdown that lost billing records.
 var remotePackages = []string{
 	"repro/internal/rmi",
 	"repro/internal/iplib",
 	"repro/internal/provider",
 	"repro/internal/estim",
+	"repro/internal/gateway",
 }
 
 // Analyzer is the remote-err check.

@@ -3,12 +3,22 @@
 package fixture
 
 import (
+	"repro/internal/gateway"
 	"repro/internal/iplib"
 	"repro/internal/rmi"
 )
 
 func discard(c *rmi.Client) {
 	c.Close() // want "error from .* discarded"
+}
+
+func discardGateway(g *gateway.Gateway, spec gateway.TenantSpec) {
+	g.AddTenant(spec) // want "error from .* discarded"
+	g.Drain(0)        // want "error from .* discarded"
+}
+
+func gatewayAcknowledged(g *gateway.Gateway) {
+	_ = g.Close()
 }
 
 func discardStub(c *iplib.IPClient) {

@@ -20,6 +20,17 @@ import (
 // so the OnEpochFail hook never sees it.
 var errSuperseded = errors.New("rmi: connection superseded")
 
+// HandshakeError is the server's explicit refusal of a connection
+// handshake: the welcome frame arrived but carried an error instead of
+// a session. Unlike a transport fault, the refusal text is the server
+// speaking deliberately — authentication failure, codec policy, or the
+// gateway's typed admission rejections (which internal/gateway
+// classifies from Msg via Reason). Callers unwrap it with errors.As.
+type HandshakeError struct{ Msg string }
+
+// Error implements error.
+func (e *HandshakeError) Error() string { return e.Msg }
+
 // countingConn wraps a net.Conn and tracks bytes in each direction, so
 // the client can compute per-call transfer sizes for the network
 // emulator. After the pumps start, written is touched only by the writer
@@ -226,7 +237,7 @@ func (c *Client) attach(conn net.Conn) (*mux, error) {
 	}
 	if welcome.Err != "" {
 		conn.Close()
-		return nil, errors.New(welcome.Err)
+		return nil, &HandshakeError{Msg: welcome.Err}
 	}
 	if c.Timeout > 0 {
 		_ = conn.SetDeadline(time.Time{})

@@ -46,6 +46,46 @@ func ParseCodecPolicy(s string) (CodecPolicy, error) {
 // so the provider-side marshalling policy can vet it).
 type Handler func(sess *Session, payload []byte) (any, error)
 
+// DefaultHandshakeTimeout bounds the pre-session phase of a connection
+// — first byte, hello frame, welcome write — when no explicit
+// HandshakeTimeout is configured. A client that connects and never
+// speaks must not park a server goroutine forever.
+const DefaultHandshakeTimeout = 15 * time.Second
+
+// DefaultLogBurst is how many diagnostic lines per second logf emits
+// before sampling kicks in (see Server.LogBurst).
+const DefaultLogBurst = 50
+
+// ServerHooks lets a front end (internal/gateway) observe and vet the
+// server's connection lifecycle without owning the protocol. All fields
+// are optional; install the struct before Serve — it is read without
+// synchronization once connections are live.
+//
+// Lifecycle guarantees: when Admit returns nil, the session opens and
+// SessionOpen fires exactly once; SessionClose then fires exactly once
+// when the connection ends, on every exit path (clean EOF, read/write
+// error, idle or write timeout, codec refusal, drain). An Admit error
+// rejects the handshake: its text travels to the client in the welcome
+// frame and no session hooks fire.
+type ServerHooks struct {
+	// Admit vets an authenticated hello before its session opens. It
+	// runs after HMAC verification, so client is a trusted identity.
+	Admit func(client string, remote net.Addr) error
+	// SessionOpen observes a freshly opened session.
+	SessionOpen func(sess *Session)
+	// SessionClose observes a session's end (its connection closed).
+	SessionClose func(sess *Session)
+	// BeforeCall vets one decoded request before dispatch; a non-nil
+	// error is returned to the caller as the call's remote error and the
+	// handler never runs. It may block (rate-limit throttling); the
+	// connection's other in-flight requests proceed independently on the
+	// concurrent dispatch path.
+	BeforeCall func(sess *Session, method string, payloadBytes int) error
+	// AfterCall observes one completed dispatch (handler plus response
+	// vetting), including calls BeforeCall rejected.
+	AfterCall func(sess *Session, method string, payloadBytes int, d time.Duration, failed bool)
+}
+
 // Session is the server-side state of one authenticated client
 // connection: the component instances the client has bound, accumulated
 // fees, and arbitrary per-session values.
@@ -98,10 +138,28 @@ type Server struct {
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 	// IdleTimeout, when positive, bounds how long a connection may sit
-	// between requests (and how long the handshake may take) before the
-	// server drops it — dead or wedged clients cannot pin goroutines
-	// forever. Clients reconnect transparently when resilient.
+	// between requests before the server drops it — dead or wedged
+	// clients cannot pin goroutines forever. Clients reconnect
+	// transparently when resilient.
 	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the pre-session phase (codec byte, hello
+	// frame, welcome write). Zero selects DefaultHandshakeTimeout — the
+	// hang a never-speaking dialer used to cause is closed by default;
+	// negative disables the deadline (trusted in-process transports).
+	HandshakeTimeout time.Duration
+	// WriteTimeout, when positive, bounds each response frame write, so
+	// a client that stops reading (filling its receive window) cannot
+	// park the server's writer behind a full send buffer forever.
+	WriteTimeout time.Duration
+	// Hooks, when non-nil, observes and vets the connection lifecycle
+	// (admission control, per-call quotas, metering). Set before Serve.
+	Hooks *ServerHooks
+	// LogBurst bounds how many logf lines per second reach Logf before
+	// sampling: a reject storm must not turn the log into the
+	// bottleneck. Zero selects DefaultLogBurst; negative disables the
+	// limit. Suppressed lines are counted and reported in a summary
+	// line when the next window opens.
+	LogBurst int
 	// SessionWorkers bounds concurrent handler execution per client
 	// connection. With a pipelined client, N requests can be on the wire
 	// at once; a value above 1 dispatches them to a per-session worker
@@ -126,6 +184,39 @@ type Server struct {
 	nextSess uint64
 	closed   bool
 	ln       net.Listener
+
+	loglim logLimiter
+}
+
+// logLimiter is a per-second token window over diagnostic output: at
+// most burst lines per wall-clock second, the rest counted and folded
+// into one summary line when the next window opens.
+type logLimiter struct {
+	mu         sync.Mutex
+	window     int64 // unix second of the current window
+	emitted    int
+	suppressed uint64
+}
+
+// allow reports whether one line may be emitted now. A positive
+// suppressed return carries the count of lines dropped in the previous
+// window (the caller should emit one summary for them).
+func (l *logLimiter) allow(now time.Time, burst int) (ok bool, suppressed uint64) {
+	sec := now.Unix()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if sec != l.window {
+		l.window = sec
+		l.emitted = 0
+		suppressed = l.suppressed
+		l.suppressed = 0
+	}
+	if l.emitted < burst {
+		l.emitted++
+		return true, suppressed
+	}
+	l.suppressed++
+	return false, suppressed
 }
 
 // connState tracks one live connection's in-flight request count, the
@@ -313,9 +404,29 @@ func (s *Server) Drain(timeout time.Duration) error {
 	return fmt.Errorf("rmi: drain timed out after %v: force-closed %d busy connection(s)", timeout, forced)
 }
 
-// logf logs through Logf; the default is silence.
+// logf logs through Logf; the default is silence. Output is
+// rate-limited to LogBurst lines per second (see the field) so a storm
+// of per-connection failures — a reject flood against the gateway, a
+// port scanner spraying garbage — cannot make logging itself the
+// bottleneck. Dropped lines surface as one summary when the next
+// window opens.
 func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
+	if s.Logf == nil {
+		return
+	}
+	burst := s.LogBurst
+	if burst == 0 {
+		burst = DefaultLogBurst
+	}
+	if burst < 0 {
+		s.Logf(format, args...)
+		return
+	}
+	ok, suppressed := s.loglim.allow(time.Now(), burst)
+	if suppressed > 0 {
+		s.Logf("rmi server %s: %d log line(s) suppressed by rate limit (%d/s)", s.Name, suppressed, burst)
+	}
+	if ok {
 		s.Logf(format, args...)
 	}
 }
@@ -330,12 +441,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 	defer s.unregister(conn)
 
+	// The whole pre-session phase — codec byte, hello frame, welcome
+	// write — runs under the handshake deadline, so a dialer that never
+	// speaks (or never reads the welcome) cannot park this goroutine.
+	if d := s.handshakeTimeout(); d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	}
+
 	// Codec detection: the first byte of a wire-format-v1 frame is the
 	// 0x00 magic, which no gob stream can open with (gob's leading byte
 	// is a message length in 1..127 or a negated byte count near 0xFF).
-	if s.IdleTimeout > 0 {
-		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
-	}
 	var first [1]byte
 	if _, err := io.ReadFull(conn, first[:]); err != nil {
 		return
@@ -362,20 +477,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 	if err := fr.readFrame(&hello); err != nil {
 		return
 	}
-	sess, err := s.handshake(&hello)
+	sess, err := s.handshake(&hello, conn.RemoteAddr())
 	if err == nil && !s.codecAccepted(codec) {
 		err = fmt.Errorf("rmi: server does not accept the %s codec", codec)
 	}
 	welcome := frame{Kind: kindWelcome}
 	if err != nil {
+		if sess != nil {
+			s.closeSession(sess)
+		}
+		s.logf("rmi server %s: handshake rejected from %v: %v", s.Name, conn.RemoteAddr(), err)
 		welcome.Err = err.Error()
 		_ = fw.writeFrame(&welcome)
 		return
 	}
+	defer s.closeSession(sess)
 	welcome.Session = sess.ID
 	if err := fw.writeFrame(&welcome); err != nil {
 		return
 	}
+	// Leaving the handshake phase: clear its deadline and hand deadline
+	// duty to the per-frame IdleTimeout / WriteTimeout arming below.
+	_ = conn.SetDeadline(time.Time{})
 
 	if s.SessionWorkers > 1 {
 		s.serveConcurrent(conn, st, fr, fw, sess, codec)
@@ -395,12 +518,27 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		st.inflight.Add(1)
 		resp := s.dispatch(sess, req, codec)
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		err := fw.writeFrame(resp)
 		putFrame(resp)
 		st.inflight.Add(-1)
 		if err != nil {
 			return
 		}
+	}
+}
+
+// handshakeTimeout resolves the effective pre-session deadline.
+func (s *Server) handshakeTimeout() time.Duration {
+	switch {
+	case s.HandshakeTimeout > 0:
+		return s.HandshakeTimeout
+	case s.HandshakeTimeout < 0:
+		return 0
+	default:
+		return DefaultHandshakeTimeout
 	}
 }
 
@@ -432,6 +570,9 @@ func (s *Server) serveConcurrent(conn net.Conn, st *connState, fr frameDecoder, 
 	go func() { // response writer: sole owner of the frame encoder
 		defer close(writerDone)
 		for resp := range respCh {
+			if s.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			}
 			err := fw.writeFrame(resp)
 			putFrame(resp)
 			st.inflight.Add(-1) // answered (or abandoned): no longer drain-relevant
@@ -496,8 +637,12 @@ func (s *Server) serveConcurrent(conn net.Conn, st *connState, fr frameDecoder, 
 	<-writerDone
 }
 
-// handshake authenticates the hello frame and opens a session.
-func (s *Server) handshake(hello *frame) (*Session, error) {
+// handshake authenticates the hello frame and opens a session. The
+// Admit hook runs after authentication and after every other failure
+// source, so when it accepts, the session open is guaranteed — a front
+// end can reserve an admission slot in Admit and release it in
+// SessionClose without leak paths in between.
+func (s *Server) handshake(hello *frame, remote net.Addr) (*Session, error) {
 	if hello.Kind != kindHello {
 		return nil, errors.New("rmi: protocol error: expected hello")
 	}
@@ -515,15 +660,72 @@ func (s *Server) handshake(hello *frame) (*Session, error) {
 	if _, err := rand.Read(idBytes); err != nil {
 		return nil, err
 	}
+	h := s.Hooks
+	if h != nil && h.Admit != nil {
+		if err := h.Admit(hello.Client, remote); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextSess++
 	sess := &Session{
 		ID:     fmt.Sprintf("%s-%d-%s", s.Name, s.nextSess, hex.EncodeToString(idBytes)),
 		Client: hello.Client,
 	}
 	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	if h != nil && h.SessionOpen != nil {
+		h.SessionOpen(sess)
+	}
 	return sess, nil
+}
+
+// closeSession retires a session when its connection ends: the session
+// table must not grow one entry per connection forever under
+// multi-tenant load. The SessionClose hook fires exactly once per
+// opened session (ServeConn's exit paths all funnel here).
+func (s *Server) closeSession(sess *Session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	s.mu.Unlock()
+	if h := s.Hooks; h != nil && h.SessionClose != nil {
+		h.SessionClose(sess)
+	}
+}
+
+// RespondReject answers an incoming connection's handshake with a
+// rejection in the connection's own codec and closes it, without
+// touching the server's session machinery. It is the gateway's
+// fast-fail path for connections that exceed the bounded accept queue:
+// the dialer gets a loud, typed wire error within the timeout instead
+// of a silent hang or an unexplained reset. The hello is read (and
+// discarded unverified — this path exists precisely because the server
+// is too loaded to do per-connection work) so the rejection arrives
+// where the client's handshake is listening for the welcome frame.
+func RespondReject(conn net.Conn, timeout time.Duration, msg string) {
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	r := io.MultiReader(bytes.NewReader(first[:]), conn)
+	var fw frameEncoder
+	var fr frameDecoder
+	if first[0] == binMagic0 {
+		fw = &binFrameWriter{w: conn}
+		fr = &binFrameReader{r: r, aliasPayload: true}
+	} else {
+		g := &gobFrameCodec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(r)}
+		fw, fr = g, g
+	}
+	var hello frame
+	if err := fr.readFrame(&hello); err != nil {
+		return
+	}
+	_ = fw.writeFrame(&frame{Kind: kindWelcome, Err: msg})
 }
 
 // framePool recycles request and response frames (and their payload
@@ -565,6 +767,42 @@ func (s *Server) dispatch(sess *Session, req *frame, codec Codec) *frame {
 		resp.Err = fmt.Sprintf("rmi: unknown method %q", req.Method)
 		return resp
 	}
+	if hooks := s.Hooks; hooks != nil && (hooks.BeforeCall != nil || hooks.AfterCall != nil) {
+		return s.dispatchHooked(hooks, sess, req, codec, h)
+	}
+	return s.dispatchCall(sess, req, codec, h)
+}
+
+// dispatchHooked wraps dispatchCall with the gateway's per-call vetting
+// and metering hooks: BeforeCall may throttle (it blocks) or reject
+// (its error becomes the call's remote error), AfterCall observes every
+// outcome with the dispatch latency.
+func (s *Server) dispatchHooked(hooks *ServerHooks, sess *Session, req *frame, codec Codec, h Handler) *frame {
+	payloadBytes := len(req.Payload)
+	method := req.Method
+	start := time.Now()
+	if hooks.BeforeCall != nil {
+		if err := hooks.BeforeCall(sess, method, payloadBytes); err != nil {
+			resp := getFrame()
+			resp.Kind, resp.ID = kindResponse, req.ID
+			resp.Err = err.Error()
+			if hooks.AfterCall != nil {
+				hooks.AfterCall(sess, method, payloadBytes, time.Since(start), true)
+			}
+			return resp
+		}
+	}
+	resp := s.dispatchCall(sess, req, codec, h)
+	if hooks.AfterCall != nil {
+		hooks.AfterCall(sess, method, payloadBytes, time.Since(start), resp.Err != "")
+	}
+	return resp
+}
+
+// dispatchCall runs the handler and vets/encodes its response.
+func (s *Server) dispatchCall(sess *Session, req *frame, codec Codec, h Handler) *frame {
+	resp := getFrame()
+	resp.Kind, resp.ID = kindResponse, req.ID
 	reply, err := func() (reply any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
